@@ -1,0 +1,298 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section IV). Each benchmark runs the corresponding
+// experiment sweep and reports the figure's headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the evaluation in
+// one command. Wall-clock ns/op measures the simulator, not the modelled
+// system; the science numbers are in the custom metrics (seconds of
+// virtual time).
+package entk_test
+
+import (
+	"testing"
+	"time"
+
+	"entk"
+	"entk/internal/stats"
+	"entk/internal/vclock"
+	"entk/internal/workload"
+)
+
+// BenchmarkFig3PatternOverheads regenerates Figure 3: the mkfile/ccount
+// application under all three patterns at tasks = cores = 24..192 on
+// Comet, decomposing TTC into execution time, core overhead, and pattern
+// overhead.
+func BenchmarkFig3PatternOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Fig3(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			rows := res.Rows
+			b.ReportMetric(rows[0].ExecSec, "exec_s@24")
+			b.ReportMetric(rows[len(rows)-1].ExecSec, "exec_s@192")
+			b.ReportMetric(rows[0].CoreOverheadSec, "core_ovh_s")
+			b.ReportMetric(rows[len(rows)-1].PatternOverhead, "pattern_ovh_s@192")
+		}
+	}
+}
+
+// BenchmarkFig4KernelPlugins regenerates Figure 4: Gromacs-LSDMap SAL on
+// Comet; overheads must match Figure 3's despite the kernel change.
+func BenchmarkFig4KernelPlugins(b *testing.B) {
+	fig3, err := workload.Fig3(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Fig4(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(fig3); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].CoreOverheadSec, "core_ovh_s")
+			b.ReportMetric(res.Rows[len(res.Rows)-1].SimSec, "sim_s@192")
+		}
+	}
+}
+
+// reportEE emits the strong/weak scaling metrics for an EE sweep.
+func reportEE(b *testing.B, res *workload.EEResult) {
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	b.ReportMetric(first.SimSec, "sim_s@min")
+	b.ReportMetric(last.SimSec, "sim_s@max")
+	b.ReportMetric(first.ExchangeSec, "exch_s@min")
+	b.ReportMetric(last.ExchangeSec, "exch_s@max")
+	var cores, sim []float64
+	for _, w := range res.Rows {
+		cores = append(cores, float64(w.Cores))
+		sim = append(sim, w.SimSec)
+	}
+	if res.Kind == "strong" {
+		if slope, err := stats.LogLogSlope(cores, sim); err == nil {
+			b.ReportMetric(slope, "loglog_slope")
+		}
+	}
+}
+
+// BenchmarkFig5EEStrong regenerates Figure 5: EE strong scaling, 2560
+// replicas of Amber temperature exchange over 20-2560 cores on SuperMIC.
+func BenchmarkFig5EEStrong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Fig5(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportEE(b, res)
+		}
+	}
+}
+
+// BenchmarkFig6EEWeak regenerates Figure 6: EE weak scaling with
+// replicas = cores from 20 to 2560 on SuperMIC.
+func BenchmarkFig6EEWeak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Fig6(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportEE(b, res)
+		}
+	}
+}
+
+// reportSAL emits the scaling metrics for a SAL sweep.
+func reportSAL(b *testing.B, res *workload.SALResult) {
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	b.ReportMetric(first.SimSec, "sim_s@min")
+	b.ReportMetric(last.SimSec, "sim_s@max")
+	b.ReportMetric(first.AnalysisSec, "ana_s@min")
+	b.ReportMetric(last.AnalysisSec, "ana_s@max")
+}
+
+// BenchmarkFig7SALStrong regenerates Figure 7: SAL strong scaling, 1024
+// Amber simulations + serial CoCo over 64-1024 cores on Stampede.
+func BenchmarkFig7SALStrong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Fig7(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSAL(b, res)
+		}
+	}
+}
+
+// BenchmarkFig8SALWeak regenerates Figure 8: SAL weak scaling with
+// simulations = cores from 64 to 4096 on Stampede.
+func BenchmarkFig8SALWeak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Fig8(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSAL(b, res)
+		}
+	}
+}
+
+// BenchmarkFig9MPI regenerates Figure 9: 64 concurrent 6 ps simulations
+// with 1-64 cores per simulation on Stampede.
+func BenchmarkFig9MPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Fig9(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+			b.ReportMetric(first.SimSec, "sim_s@1cps")
+			b.ReportMetric(last.SimSec, "sim_s@64cps")
+			b.ReportMetric(first.SimSec/last.SimSec, "speedup@64cps")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Design ablations (DESIGN.md section 5)
+
+// BenchmarkAblationExchangeMode compares collective vs pairwise exchange
+// on a heterogeneous REMD ensemble.
+func BenchmarkAblationExchangeMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.AblationExchangeMode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].TTCSec, "collective_ttc_s")
+			b.ReportMetric(res.Rows[1].TTCSec, "pairwise_ttc_s")
+		}
+	}
+}
+
+// BenchmarkAblationBackfill compares FIFO and EASY backfill batch
+// scheduling for pilot startup.
+func BenchmarkAblationBackfill(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.AblationBackfill()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].SmallWaitSec, "fifo_wait_s")
+			b.ReportMetric(res.Rows[1].SmallWaitSec, "easy_wait_s")
+		}
+	}
+}
+
+// BenchmarkAblationDispatch sweeps the client-side per-unit submission
+// cost and reports the induced pattern overhead.
+func BenchmarkAblationDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.AblationDispatch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].PatternOverhead, "ovh_s@1ms")
+			b.ReportMetric(res.Rows[len(res.Rows)-1].PatternOverhead, "ovh_s@50ms")
+		}
+	}
+}
+
+// BenchmarkAblationAgentScheduler compares first-fit and best-fit node
+// packing in the pilot agent.
+func BenchmarkAblationAgentScheduler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.AblationAgentScheduler()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].TTCSec, "firstfit_ttc_s")
+			b.ReportMetric(res.Rows[1].TTCSec, "bestfit_ttc_s")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks: the simulator itself
+
+// BenchmarkVirtualClockTimers measures the DES engine's timer throughput:
+// how fast the virtual clock processes sleep/wake cycles.
+func BenchmarkVirtualClockTimers(b *testing.B) {
+	v := vclock.NewVirtual()
+	b.ReportAllocs()
+	v.Run(func() {
+		for i := 0; i < b.N; i++ {
+			v.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// BenchmarkPilotUnitThroughput measures how many compute units per second
+// (wall time) the simulated runtime pushes through a pilot.
+func BenchmarkPilotUnitThroughput(b *testing.B) {
+	const batch = 512
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := entk.NewClock()
+		h, err := entk.NewResourceHandle("xsede.stampede", 256, 1000*time.Hour, entk.Config{Clock: v})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var runErr error
+		v.Run(func() {
+			_, runErr = h.Execute(&entk.EnsembleOfPipelines{
+				Pipelines: batch,
+				Stages:    1,
+				StageKernel: func(int, int) *entk.Kernel {
+					return &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 1}}
+				},
+			})
+		})
+		if runErr != nil {
+			b.Fatal(runErr)
+		}
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}

@@ -1,0 +1,152 @@
+// Command entk-bench regenerates the paper's evaluation: one text table
+// per figure (3-9) plus the design ablations. Absolute numbers come from
+// the simulated testbed's calibrated cost models; the shapes — who wins,
+// by what factor, where the crossovers fall — are the reproduction target
+// (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	entk-bench                 # all figures and ablations
+//	entk-bench -fig 5          # one figure
+//	entk-bench -ablation all   # ablations only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"entk/internal/workload"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to run (3-9); 0 runs everything")
+	ablation := flag.String("ablation", "", "ablation to run: exchange, backfill, dispatch, placement, or all")
+	flag.Parse()
+
+	log.SetFlags(0)
+	runAll := *fig == 0 && *ablation == ""
+
+	figures := map[int]func() error{
+		3: func() error { return printFig3() },
+		4: func() error { return printFig4() },
+		5: func() error { return printEE("Figure 5: EE strong scaling (2560 replicas, SuperMIC)", workload.Fig5) },
+		6: func() error { return printEE("Figure 6: EE weak scaling (replicas = cores, SuperMIC)", workload.Fig6) },
+		7: func() error {
+			return printSAL("Figure 7: SAL strong scaling (1024 simulations, Stampede)", workload.Fig7)
+		},
+		8: func() error { return printSAL("Figure 8: SAL weak scaling (sims = cores, Stampede)", workload.Fig8) },
+		9: func() error {
+			return printSAL("Figure 9: MPI capability (64 simulations, 1-64 cores/sim, Stampede)", workload.Fig9)
+		},
+	}
+
+	if *fig != 0 {
+		run, ok := figures[*fig]
+		if !ok {
+			log.Fatalf("entk-bench: no figure %d (have 3-9)", *fig)
+		}
+		if err := run(); err != nil {
+			log.Fatalf("entk-bench: %v", err)
+		}
+	}
+
+	if runAll {
+		for f := 3; f <= 9; f++ {
+			if err := figures[f](); err != nil {
+				log.Fatalf("entk-bench: figure %d: %v", f, err)
+			}
+		}
+	}
+
+	if *ablation != "" || runAll {
+		which := *ablation
+		if runAll {
+			which = "all"
+		}
+		if err := printAblations(which); err != nil {
+			log.Fatalf("entk-bench: %v", err)
+		}
+	}
+}
+
+func printFig3() error {
+	res, err := workload.Fig3(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3: pattern characterisation, mkfile/ccount on Comet (tasks = cores)")
+	fmt.Println(res.Table())
+	return nil
+}
+
+func printFig4() error {
+	res, err := workload.Fig4(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 4: kernel-plugin validation, Gromacs-LSDMap SAL on Comet")
+	fmt.Println(res.Table())
+	return nil
+}
+
+func printEE(title string, run func([]int) (*workload.EEResult, error)) error {
+	res, err := run(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	fmt.Println(res.Table())
+	return nil
+}
+
+func printSAL(title string, run func([]int) (*workload.SALResult, error)) error {
+	res, err := run(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	fmt.Println(res.Table())
+	return nil
+}
+
+func printAblations(which string) error {
+	type ab struct {
+		name  string
+		title string
+		run   func() (interface{ Table() string }, error)
+	}
+	abs := []ab{
+		{"exchange", "Ablation: collective vs pairwise exchange (heterogeneous EE)", func() (interface{ Table() string }, error) {
+			return workload.AblationExchangeMode()
+		}},
+		{"backfill", "Ablation: batch policy FIFO vs EASY backfill (pilot startup)", func() (interface{ Table() string }, error) {
+			return workload.AblationBackfill()
+		}},
+		{"dispatch", "Ablation: per-unit dispatch cost vs pattern overhead", func() (interface{ Table() string }, error) {
+			return workload.AblationDispatch()
+		}},
+		{"placement", "Ablation: agent node packing first-fit vs best-fit", func() (interface{ Table() string }, error) {
+			return workload.AblationAgentScheduler()
+		}},
+	}
+	ran := false
+	for _, a := range abs {
+		if which != "all" && which != a.name {
+			continue
+		}
+		ran = true
+		res, err := a.run()
+		if err != nil {
+			return fmt.Errorf("ablation %s: %w", a.name, err)
+		}
+		fmt.Println(a.title)
+		fmt.Println(res.Table())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "entk-bench: unknown ablation %q (have exchange, backfill, dispatch, placement, all)\n", which)
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Command entk-run executes an ensemble application described by a JSON
+// file, for experimenting with workloads without writing Go:
+//
+//	entk-run app.json
+//
+// Example description (ensemble of pipelines):
+//
+//	{
+//	  "resource": "xsede.comet",
+//	  "cores": 48,
+//	  "walltime_min": 120,
+//	  "pattern": {
+//	    "type": "eop",
+//	    "pipelines": 24,
+//	    "stages": [
+//	      {"name": "misc.mkfile", "params": {"size_mb": 10}},
+//	      {"name": "misc.ccount", "params": {"size_mb": 10}}
+//	    ]
+//	  }
+//	}
+//
+// EE uses "type": "ee" with "replicas", "cycles", "simulation",
+// "exchange" (and optional "pairwise": true); SAL uses "type": "sal"
+// with "iterations", "simulations", "analyses", "simulation",
+// "analysis".
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"entk"
+)
+
+// kernelJSON is the JSON form of a kernel invocation.
+type kernelJSON struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params"`
+	Cores  int                `json:"cores"`
+	MPI    bool               `json:"mpi"`
+}
+
+func (k *kernelJSON) kernel() *entk.Kernel {
+	if k == nil {
+		return nil
+	}
+	return &entk.Kernel{Name: k.Name, Params: k.Params, Cores: k.Cores, MPI: k.MPI}
+}
+
+// patternJSON is the JSON form of a pattern parametrisation.
+type patternJSON struct {
+	Type string `json:"type"` // "eop", "ee", "sal"
+
+	// eop
+	Pipelines int          `json:"pipelines"`
+	Stages    []kernelJSON `json:"stages"`
+
+	// ee
+	Replicas   int         `json:"replicas"`
+	Cycles     int         `json:"cycles"`
+	Simulation *kernelJSON `json:"simulation"`
+	Exchange   *kernelJSON `json:"exchange"`
+	Pairwise   bool        `json:"pairwise"`
+
+	// sal
+	Iterations  int         `json:"iterations"`
+	Simulations int         `json:"simulations"`
+	Analyses    int         `json:"analyses"`
+	Analysis    *kernelJSON `json:"analysis"`
+}
+
+// appJSON is the top-level application description.
+type appJSON struct {
+	Resource    string      `json:"resource"`
+	Cores       int         `json:"cores"`
+	WalltimeMin int         `json:"walltime_min"`
+	Pattern     patternJSON `json:"pattern"`
+}
+
+func (a *appJSON) pattern() (entk.Pattern, error) {
+	p := &a.Pattern
+	switch p.Type {
+	case "eop":
+		if len(p.Stages) == 0 {
+			return nil, fmt.Errorf("eop pattern needs stages")
+		}
+		stages := make([]*entk.Kernel, len(p.Stages))
+		for i := range p.Stages {
+			stages[i] = p.Stages[i].kernel()
+		}
+		return &entk.EnsembleOfPipelines{
+			Pipelines: p.Pipelines,
+			Stages:    len(stages),
+			StageKernel: func(stage, pipe int) *entk.Kernel {
+				k := *stages[stage-1] // copy so tasks don't share state
+				return &k
+			},
+		}, nil
+	case "ee":
+		if p.Simulation == nil || p.Exchange == nil {
+			return nil, fmt.Errorf("ee pattern needs simulation and exchange kernels")
+		}
+		mode := entk.CollectiveExchange
+		if p.Pairwise {
+			mode = entk.PairwiseExchange
+		}
+		return &entk.EnsembleExchange{
+			Replicas: p.Replicas,
+			Cycles:   p.Cycles,
+			Mode:     mode,
+			SimulationKernel: func(cycle, r int) *entk.Kernel {
+				k := *p.Simulation.kernel()
+				return &k
+			},
+			ExchangeKernel: func(cycle int) *entk.Kernel {
+				k := *p.Exchange.kernel()
+				return &k
+			},
+		}, nil
+	case "sal":
+		if p.Simulation == nil || p.Analysis == nil {
+			return nil, fmt.Errorf("sal pattern needs simulation and analysis kernels")
+		}
+		return &entk.SimulationAnalysisLoop{
+			Iterations:  p.Iterations,
+			Simulations: p.Simulations,
+			Analyses:    p.Analyses,
+			SimulationKernel: func(it, i int) *entk.Kernel {
+				k := *p.Simulation.kernel()
+				return &k
+			},
+			AnalysisKernel: func(it, i int) *entk.Kernel {
+				k := *p.Analysis.kernel()
+				return &k
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown pattern type %q (want eop, ee, or sal)", p.Type)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) != 2 {
+		log.Fatal("usage: entk-run <app.json>")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		log.Fatalf("entk-run: %v", err)
+	}
+	var app appJSON
+	if err := json.Unmarshal(raw, &app); err != nil {
+		log.Fatalf("entk-run: parsing %s: %v", os.Args[1], err)
+	}
+	pattern, err := app.pattern()
+	if err != nil {
+		log.Fatalf("entk-run: %v", err)
+	}
+	if app.WalltimeMin <= 0 {
+		app.WalltimeMin = 60
+	}
+
+	v := entk.NewClock()
+	handle, err := entk.NewResourceHandle(app.Resource, app.Cores,
+		time.Duration(app.WalltimeMin)*time.Minute, entk.Config{Clock: v})
+	if err != nil {
+		log.Fatalf("entk-run: %v", err)
+	}
+	var report *entk.Report
+	v.Run(func() {
+		report, err = handle.Execute(pattern)
+	})
+	if err != nil {
+		log.Fatalf("entk-run: %v", err)
+	}
+	fmt.Print(report)
+}

@@ -1,0 +1,119 @@
+// Command entk-validate reruns every reproduced experiment and asserts
+// the paper's qualitative findings hold (the Check methods in
+// internal/workload): similar execution times across patterns, constant
+// core overhead, task-linear pattern overhead, ~ideal strong scaling,
+// flat weak scaling, growing serial stages, and the ablation expectations.
+// It exits non-zero if any shape check fails.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"entk/internal/workload"
+)
+
+type check struct {
+	name string
+	run  func() error
+}
+
+func main() {
+	var fig3 *workload.Fig3Result
+
+	checks := []check{
+		{"fig3 pattern characterisation", func() error {
+			res, err := workload.Fig3(nil)
+			if err != nil {
+				return err
+			}
+			fig3 = res
+			return res.Check()
+		}},
+		{"fig4 kernel-plugin invariance", func() error {
+			res, err := workload.Fig4(nil)
+			if err != nil {
+				return err
+			}
+			return res.Check(fig3)
+		}},
+		{"fig5 EE strong scaling", func() error {
+			res, err := workload.Fig5(nil)
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"fig6 EE weak scaling", func() error {
+			res, err := workload.Fig6(nil)
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"fig7 SAL strong scaling", func() error {
+			res, err := workload.Fig7(nil)
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"fig8 SAL weak scaling", func() error {
+			res, err := workload.Fig8(nil)
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"fig9 MPI capability", func() error {
+			res, err := workload.Fig9(nil)
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"ablation exchange mode", func() error {
+			res, err := workload.AblationExchangeMode()
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"ablation batch backfill", func() error {
+			res, err := workload.AblationBackfill()
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"ablation dispatch cost", func() error {
+			res, err := workload.AblationDispatch()
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+		{"ablation agent placement", func() error {
+			res, err := workload.AblationAgentScheduler()
+			if err != nil {
+				return err
+			}
+			return res.Check()
+		}},
+	}
+
+	failed := 0
+	for _, c := range checks {
+		if err := c.run(); err != nil {
+			fmt.Printf("FAIL  %-32s %v\n", c.name, err)
+			failed++
+		} else {
+			fmt.Printf("ok    %s\n", c.name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d of %d checks failed\n", failed, len(checks))
+		os.Exit(1)
+	}
+	fmt.Printf("\nall %d checks passed\n", len(checks))
+}

@@ -1,0 +1,120 @@
+// Package entk is the public API of the Ensemble Toolkit reproduction: a
+// Go implementation of "Ensemble Toolkit: Scalable and Flexible Execution
+// of Ensembles of Tasks" (Balasubramanian et al., ICPP 2016).
+//
+// Applications express their workload by parametrising one of three
+// execution patterns with kernel plugins and running it through a
+// resource handle:
+//
+//	v := entk.NewClock()
+//	h, err := entk.NewResourceHandle("xsede.comet", 48, time.Hour, entk.Config{Clock: v})
+//	if err != nil { ... }
+//	pattern := &entk.EnsembleOfPipelines{
+//		Pipelines: 16,
+//		Stages:    2,
+//		StageKernel: func(stage, pipe int) *entk.Kernel {
+//			if stage == 1 {
+//				return &entk.Kernel{Name: "misc.mkfile", Params: map[string]float64{"size_mb": 10}}
+//			}
+//			return &entk.Kernel{Name: "misc.ccount", Params: map[string]float64{"size_mb": 10}}
+//		},
+//	}
+//	var report *entk.Report
+//	v.Run(func() {
+//		report, err = h.Execute(pattern)
+//	})
+//
+// Execution happens on a simulated HPC testbed (batch queues, pilot
+// agents, data staging) driven by a virtual clock, so thousand-core
+// experiments complete in milliseconds while preserving the concurrency
+// structure of the real system. See DESIGN.md for the substitution map
+// against the paper's physical testbed.
+package entk
+
+import (
+	"time"
+
+	"entk/internal/core"
+	"entk/internal/kernels"
+	"entk/internal/pilot"
+	"entk/internal/stage"
+	"entk/internal/vclock"
+)
+
+// Version identifies this release of the toolkit reproduction.
+const Version = "1.0.0"
+
+// Re-exported user-facing types. The implementations live in
+// internal/core (the toolkit) and internal supporting packages.
+type (
+	// Kernel instantiates a kernel plugin for one task.
+	Kernel = core.Kernel
+	// Config carries toolkit configuration.
+	Config = core.Config
+	// ResourceHandle allocates resources and runs patterns.
+	ResourceHandle = core.ResourceHandle
+	// Pattern is an execution pattern.
+	Pattern = core.Pattern
+	// EnsembleOfPipelines is the independent-pipelines pattern.
+	EnsembleOfPipelines = core.EnsembleOfPipelines
+	// EnsembleExchange is the interacting-ensembles pattern.
+	EnsembleExchange = core.EnsembleExchange
+	// SimulationAnalysisLoop is the iterative two-stage pattern.
+	SimulationAnalysisLoop = core.SimulationAnalysisLoop
+	// Composite sequences unit patterns into a higher-order pattern.
+	Composite = core.Composite
+	// ExchangeMode selects EE exchange semantics.
+	ExchangeMode = core.ExchangeMode
+	// Report is the TTC decomposition of one pattern run.
+	Report = core.Report
+	// PhaseStat aggregates one pattern phase.
+	PhaseStat = core.PhaseStat
+	// PatternError reports tasks that exhausted their retries.
+	PatternError = core.PatternError
+	// StagingDirective moves data before or after a task.
+	StagingDirective = stage.Directive
+	// Clock is the simulation clock applications run under.
+	Clock = vclock.Virtual
+	// RuntimeConfig tunes the pilot runtime.
+	RuntimeConfig = pilot.Config
+	// KernelRegistry resolves kernels and their cost models.
+	KernelRegistry = kernels.Registry
+	// KernelSpec defines a kernel plugin.
+	KernelSpec = kernels.Spec
+)
+
+// Exchange mode values.
+const (
+	CollectiveExchange = core.CollectiveExchange
+	PairwiseExchange   = core.PairwiseExchange
+)
+
+// Staging operations.
+const (
+	StageUpload   = stage.Upload
+	StageCopy     = stage.Copy
+	StageLink     = stage.Link
+	StageDownload = stage.Download
+)
+
+// NewClock returns the virtual clock a simulation runs under.
+func NewClock() *Clock { return vclock.NewVirtual() }
+
+// NewResourceHandle validates the resource request and prepares a handle.
+func NewResourceHandle(resource string, cores int, walltime time.Duration, cfg Config) (*ResourceHandle, error) {
+	return core.NewResourceHandle(resource, cores, walltime, cfg)
+}
+
+// NewKernelRegistry returns a registry pre-populated with the builtin
+// kernel plugins (md.amber, md.gromacs, ana.coco, ana.lsdmap, ...);
+// applications may Register additional plugins.
+func NewKernelRegistry() *KernelRegistry { return kernels.NewRegistry() }
+
+// DefaultRuntimeConfig returns the pilot runtime configuration used for
+// the paper reproduction.
+func DefaultRuntimeConfig() RuntimeConfig { return pilot.DefaultConfig() }
+
+// Resources lists the registered machine labels.
+func Resources() []string {
+	return resourceNames()
+}

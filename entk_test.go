@@ -1,0 +1,129 @@
+package entk_test
+
+import (
+	"testing"
+	"time"
+
+	"entk"
+)
+
+func TestQuickstartThroughPublicAPI(t *testing.T) {
+	v := entk.NewClock()
+	h, err := entk.NewResourceHandle("xsede.comet", 24, time.Hour, entk.Config{Clock: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := &entk.EnsembleOfPipelines{
+		Pipelines: 12,
+		Stages:    2,
+		StageKernel: func(stage, pipe int) *entk.Kernel {
+			if stage == 1 {
+				return &entk.Kernel{Name: "misc.mkfile", Params: map[string]float64{"size_mb": 10}}
+			}
+			return &entk.Kernel{Name: "misc.ccount", Params: map[string]float64{"size_mb": 10}}
+		},
+	}
+	var rep *entk.Report
+	v.Run(func() {
+		rep, err = h.Execute(pattern)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 24 {
+		t.Errorf("tasks = %d, want 24", rep.Tasks)
+	}
+	if rep.TTC <= 0 || rep.CoreOverhead <= 0 {
+		t.Errorf("report incomplete: %s", rep)
+	}
+}
+
+func TestResourcesListsPaperMachines(t *testing.T) {
+	names := entk.Resources()
+	want := map[string]bool{"xsede.comet": false, "xsede.stampede": false, "lsu.supermic": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("Resources() missing %s", n)
+		}
+	}
+}
+
+func TestRegisterCustomResource(t *testing.T) {
+	m := &entk.Machine{
+		Name: "campus.cluster", Nodes: 10, CoresPerNode: 32,
+		FSBandwidthMBps: 100,
+	}
+	if err := entk.RegisterResource(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := entk.LookupResource("campus.cluster")
+	if err != nil || got.CoresPerNode != 32 {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+
+	v := entk.NewClock()
+	h, err := entk.NewResourceHandle("campus.cluster", 64, time.Hour, entk.Config{Clock: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *entk.Report
+	v.Run(func() {
+		rep, err = h.Execute(&entk.SimulationAnalysisLoop{
+			Iterations:  1,
+			Simulations: 4,
+			Analyses:    1,
+			SimulationKernel: func(int, int) *entk.Kernel {
+				return &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 1}}
+			},
+			AnalysisKernel: func(int, int) *entk.Kernel {
+				return &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 1}}
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resource != "campus.cluster" {
+		t.Errorf("report resource = %q", rep.Resource)
+	}
+}
+
+func TestCustomKernelRegistry(t *testing.T) {
+	reg := entk.NewKernelRegistry()
+	spec := &entk.KernelSpec{
+		Name:        "custom.tool",
+		Executables: map[string]string{"*": "/bin/tool"},
+		Cost: func(p map[string]float64, cores int, m *entk.Machine) time.Duration {
+			return time.Duration(p["n"]) * time.Second
+		},
+		DefaultParams: map[string]float64{"n": 3},
+	}
+	if err := reg.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	v := entk.NewClock()
+	h, err := entk.NewResourceHandle("xsede.comet", 4, time.Hour, entk.Config{Clock: v, Cost: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *entk.Report
+	v.Run(func() {
+		rep, err = h.Execute(&entk.EnsembleOfPipelines{
+			Pipelines: 1, Stages: 1,
+			StageKernel: func(int, int) *entk.Kernel {
+				return &entk.Kernel{Name: "custom.tool"}
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Phase("stage.1").Busy; got != 3*time.Second {
+		t.Errorf("custom kernel busy = %v, want 3s", got)
+	}
+}

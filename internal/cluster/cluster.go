@@ -1,0 +1,173 @@
+// Package cluster models the HPC machines the paper evaluates on. A
+// Machine carries the node/core topology used by the batch-queue simulator
+// and the pilot agent, plus the latency/bandwidth parameters that drive the
+// overhead model (task launch latency, filesystem bandwidth, network
+// round-trip to the machine).
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// Machine describes an HPC platform.
+type Machine struct {
+	// Name is the canonical resource label, e.g. "xsede.comet".
+	Name string
+	// Nodes is the total number of compute nodes.
+	Nodes int
+	// CoresPerNode is the number of cores on each node.
+	CoresPerNode int
+	// MemPerNodeGB is the memory per node in gigabytes.
+	MemPerNodeGB int
+
+	// AgentBootTime is the time the pilot agent needs from batch-job start
+	// to accepting units (environment setup, bootstrapping).
+	AgentBootTime time.Duration
+	// TaskLaunchLatency is the per-task launch cost paid by the agent
+	// executor (fork/exec, aprun/ibrun startup).
+	TaskLaunchLatency time.Duration
+	// NetLatency is the one-way latency between the client (where EnTK
+	// runs) and the machine; every control message pays it.
+	NetLatency time.Duration
+	// FSBandwidthMBps is the shared-filesystem bandwidth seen by one task.
+	FSBandwidthMBps float64
+	// FSLatency is the per-operation filesystem latency (open/create).
+	FSLatency time.Duration
+	// QueueWaitBase is the fixed component of the batch queue wait model.
+	QueueWaitBase time.Duration
+	// QueueWaitPerNode is the incremental queue wait per requested node:
+	// bigger requests wait longer, a crude but monotone model of real
+	// scheduler behaviour.
+	QueueWaitPerNode time.Duration
+}
+
+// TotalCores returns the machine's total core count.
+func (m *Machine) TotalCores() int { return m.Nodes * m.CoresPerNode }
+
+// NodesFor returns how many whole nodes are needed to hold cores.
+func (m *Machine) NodesFor(cores int) int {
+	if cores <= 0 {
+		return 0
+	}
+	return (cores + m.CoresPerNode - 1) / m.CoresPerNode
+}
+
+// Validate reports whether the machine definition is self-consistent.
+func (m *Machine) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("cluster: machine has no name")
+	case m.Nodes <= 0:
+		return fmt.Errorf("cluster: machine %s has %d nodes", m.Name, m.Nodes)
+	case m.CoresPerNode <= 0:
+		return fmt.Errorf("cluster: machine %s has %d cores/node", m.Name, m.CoresPerNode)
+	case m.FSBandwidthMBps <= 0:
+		return fmt.Errorf("cluster: machine %s has non-positive fs bandwidth", m.Name)
+	}
+	return nil
+}
+
+// The paper's testbed (Section IV): Comet for the validation experiments,
+// Stampede for SAL scaling and the MPI test, SuperMIC for EE scaling.
+// Topology figures come from the paper; latency parameters are calibrated
+// so toolkit overheads land in the seconds range the paper reports.
+var (
+	// Comet is XSEDE Comet: 1944 standard compute nodes (the paper rounds
+	// to 1984), 24 cores and 120 GB per node.
+	Comet = Machine{
+		Name:              "xsede.comet",
+		Nodes:             1984,
+		CoresPerNode:      24,
+		MemPerNodeGB:      120,
+		AgentBootTime:     30 * time.Second,
+		TaskLaunchLatency: 100 * time.Millisecond,
+		NetLatency:        40 * time.Millisecond,
+		FSBandwidthMBps:   300,
+		FSLatency:         5 * time.Millisecond,
+		QueueWaitBase:     60 * time.Second,
+		QueueWaitPerNode:  500 * time.Millisecond,
+	}
+
+	// Stampede is XSEDE Stampede: 6400 nodes, 16 cores and 32 GB per node.
+	Stampede = Machine{
+		Name:              "xsede.stampede",
+		Nodes:             6400,
+		CoresPerNode:      16,
+		MemPerNodeGB:      32,
+		AgentBootTime:     45 * time.Second,
+		TaskLaunchLatency: 120 * time.Millisecond,
+		NetLatency:        35 * time.Millisecond,
+		FSBandwidthMBps:   350,
+		FSLatency:         5 * time.Millisecond,
+		QueueWaitBase:     90 * time.Second,
+		QueueWaitPerNode:  400 * time.Millisecond,
+	}
+
+	// SuperMIC is LSU SuperMIC: 360 nodes, 20 cores and 60 GB per node.
+	SuperMIC = Machine{
+		Name:              "lsu.supermic",
+		Nodes:             360,
+		CoresPerNode:      20,
+		MemPerNodeGB:      60,
+		AgentBootTime:     40 * time.Second,
+		TaskLaunchLatency: 110 * time.Millisecond,
+		NetLatency:        50 * time.Millisecond,
+		FSBandwidthMBps:   250,
+		FSLatency:         6 * time.Millisecond,
+		QueueWaitBase:     75 * time.Second,
+		QueueWaitPerNode:  600 * time.Millisecond,
+	}
+
+	// Local is a workstation-scale machine for examples and quick tests:
+	// no queue wait, tiny latencies.
+	Local = Machine{
+		Name:              "local.localhost",
+		Nodes:             1,
+		CoresPerNode:      8,
+		MemPerNodeGB:      16,
+		AgentBootTime:     time.Second,
+		TaskLaunchLatency: 10 * time.Millisecond,
+		NetLatency:        time.Millisecond,
+		FSBandwidthMBps:   500,
+		FSLatency:         time.Millisecond,
+		QueueWaitBase:     0,
+		QueueWaitPerNode:  0,
+	}
+)
+
+// registry maps resource labels to machine definitions.
+var registry = map[string]*Machine{
+	Comet.Name:    &Comet,
+	Stampede.Name: &Stampede,
+	SuperMIC.Name: &SuperMIC,
+	Local.Name:    &Local,
+}
+
+// Lookup returns the machine registered under name.
+func Lookup(name string) (*Machine, error) {
+	m, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown resource %q", name)
+	}
+	return m, nil
+}
+
+// Names returns the registered resource labels (order unspecified).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Register adds or replaces a machine definition; tests use it to install
+// synthetic machines.
+func Register(m *Machine) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	registry[m.Name] = m
+	return nil
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTopologies(t *testing.T) {
+	cases := []struct {
+		m            Machine
+		nodes, cores int
+	}{
+		{Comet, 1984, 24},
+		{Stampede, 6400, 16},
+		{SuperMIC, 360, 20},
+	}
+	for _, c := range cases {
+		if c.m.Nodes != c.nodes || c.m.CoresPerNode != c.cores {
+			t.Errorf("%s: %d nodes x %d cores, want %d x %d",
+				c.m.Name, c.m.Nodes, c.m.CoresPerNode, c.nodes, c.cores)
+		}
+		if err := c.m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.m.Name, err)
+		}
+	}
+	if got := SuperMIC.TotalCores(); got != 7200 {
+		t.Errorf("SuperMIC cores = %d, want 7200", got)
+	}
+}
+
+func TestNodesFor(t *testing.T) {
+	m := Machine{Name: "t", Nodes: 10, CoresPerNode: 24, FSBandwidthMBps: 1}
+	cases := []struct{ cores, nodes int }{
+		{0, 0}, {-5, 0}, {1, 1}, {24, 1}, {25, 2}, {48, 2}, {49, 3},
+	}
+	for _, c := range cases {
+		if got := m.NodesFor(c.cores); got != c.nodes {
+			t.Errorf("NodesFor(%d) = %d, want %d", c.cores, got, c.nodes)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Machine{
+		{},
+		{Name: "x", Nodes: 0, CoresPerNode: 1, FSBandwidthMBps: 1},
+		{Name: "x", Nodes: 1, CoresPerNode: 0, FSBandwidthMBps: 1},
+		{Name: "x", Nodes: 1, CoresPerNode: 1, FSBandwidthMBps: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestLookupAndRegister(t *testing.T) {
+	m, err := Lookup("xsede.comet")
+	if err != nil || m.Name != "xsede.comet" {
+		t.Fatalf("Lookup comet = %v, %v", m, err)
+	}
+	if _, err := Lookup("no.such.machine"); err == nil {
+		t.Fatal("unknown resource accepted")
+	}
+	custom := &Machine{Name: "test.custom", Nodes: 2, CoresPerNode: 4, FSBandwidthMBps: 100}
+	if err := Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lookup("test.custom")
+	if err != nil || got != custom {
+		t.Fatalf("Lookup custom = %v, %v", got, err)
+	}
+	if err := Register(&Machine{}); err == nil {
+		t.Fatal("invalid machine registered")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test.custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() missing registered machine")
+	}
+}
+
+// Property: NodesFor is the minimal node count whose capacity covers the
+// request.
+func TestPropertyNodesForMinimalCover(t *testing.T) {
+	m := Machine{Name: "p", Nodes: 1000, CoresPerNode: 16, FSBandwidthMBps: 1}
+	f := func(c uint16) bool {
+		cores := int(c)
+		n := m.NodesFor(cores)
+		if cores <= 0 {
+			return n == 0
+		}
+		return n*m.CoresPerNode >= cores && (n-1)*m.CoresPerNode < cores
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

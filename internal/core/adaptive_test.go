@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"entk/internal/vclock"
+)
+
+func TestAdaptiveSimulationsVariesWidth(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 16)
+	widths := []int{2, 8, 4}
+	var rep *Report
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(&SimulationAnalysisLoop{
+			Iterations:          3,
+			Simulations:         1, // overridden per iteration
+			Analyses:            1,
+			AdaptiveSimulations: func(iter int) int { return widths[iter-1] },
+			SimulationKernel:    func(it, i int) *Kernel { return sleepKernel(1) },
+			AnalysisKernel:      func(it, i int) *Kernel { return sleepKernel(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	sim := rep.Phase("simulation")
+	if sim.Tasks != 2+8+4 {
+		t.Errorf("adaptive sim tasks = %d, want 14", sim.Tasks)
+	}
+	if sim.Occurrences != 3 {
+		t.Errorf("occurrences = %d, want 3", sim.Occurrences)
+	}
+}
+
+func TestAdaptiveWidthValidation(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	v.Run(func() {
+		_, err := h.Execute(&SimulationAnalysisLoop{
+			Iterations:          2,
+			Simulations:         1,
+			Analyses:            1,
+			AdaptiveSimulations: func(iter int) int { return 0 },
+			SimulationKernel:    func(it, i int) *Kernel { return sleepKernel(1) },
+			AnalysisKernel:      func(it, i int) *Kernel { return sleepKernel(1) },
+		})
+		if err == nil || !strings.Contains(err.Error(), "adaptive width") {
+			t.Errorf("zero adaptive width accepted: %v", err)
+		}
+	})
+}
+
+func TestAdaptiveStopEndsLoopEarly(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	post := 0
+	var rep *Report
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(&SimulationAnalysisLoop{
+			Iterations:       10,
+			Simulations:      2,
+			Analyses:         1,
+			SimulationKernel: func(it, i int) *Kernel { return sleepKernel(1) },
+			AnalysisKernel:   func(it, i int) *Kernel { return sleepKernel(1) },
+			AdaptiveStop:     func(iter int) bool { return iter == 3 }, // "converged"
+			PostLoop: func() *Kernel {
+				k := sleepKernel(1)
+				k.Work = func() error { post++; return nil }
+				return k
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := rep.Phase("simulation").Occurrences; got != 3 {
+		t.Errorf("loop ran %d iterations, want 3", got)
+	}
+	if post != 1 {
+		t.Errorf("post_loop ran %d times, want 1", post)
+	}
+}
+
+func TestEEStopWhenEndsEnsembleEarly(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	var rep *Report
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(&EnsembleExchange{
+			Replicas:         4,
+			Cycles:           10,
+			SimulationKernel: func(c, r int) *Kernel { return sleepKernel(1) },
+			ExchangeKernel: func(c int) *Kernel {
+				return &Kernel{Name: "md.remd_exchange", Params: map[string]float64{"replicas": 4}}
+			},
+			StopWhen: func(cycle int) bool { return cycle >= 2 },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := rep.Phase("simulation").Occurrences; got != 2 {
+		t.Errorf("EE ran %d cycles, want 2", got)
+	}
+}
+
+func TestEEStopWhenRejectedInPairwiseMode(t *testing.T) {
+	p := &EnsembleExchange{
+		Replicas:         4,
+		Cycles:           2,
+		Mode:             PairwiseExchange,
+		SimulationKernel: func(c, r int) *Kernel { return sleepKernel(1) },
+		ExchangeKernel:   func(c int) *Kernel { return sleepKernel(1) },
+		StopWhen:         func(int) bool { return false },
+	}
+	if err := p.validate(); err == nil {
+		t.Error("StopWhen with pairwise mode accepted")
+	}
+}
+
+func TestCompositePattern(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	comp := &Composite{
+		Name: "equilibrate-then-sample",
+		Members: []Pattern{
+			&EnsembleOfPipelines{
+				Pipelines:   4,
+				Stages:      1,
+				StageKernel: func(int, int) *Kernel { return sleepKernel(2) },
+			},
+			&SimulationAnalysisLoop{
+				Iterations:       2,
+				Simulations:      4,
+				Analyses:         1,
+				SimulationKernel: func(int, int) *Kernel { return sleepKernel(1) },
+				AnalysisKernel:   func(int, int) *Kernel { return sleepKernel(1) },
+			},
+		},
+	}
+	if got := comp.TaskCount(); got != 4+2*5 {
+		t.Errorf("composite task count = %d, want 14", got)
+	}
+	var rep *Report
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rep.Pattern != "equilibrate-then-sample" {
+		t.Errorf("pattern name = %q", rep.Pattern)
+	}
+	if rep.Tasks != 14 {
+		t.Errorf("tasks = %d, want 14", rep.Tasks)
+	}
+	if got := rep.Phase("p1.stage.1").Tasks; got != 4 {
+		t.Errorf("p1.stage.1 tasks = %d, want 4", got)
+	}
+	if got := rep.Phase("p2.simulation").Tasks; got != 8 {
+		t.Errorf("p2.simulation tasks = %d, want 8", got)
+	}
+	// Members are sequential: the SAL must start after the EoP finishes.
+	if rep.TTC < 4*time.Second {
+		t.Errorf("TTC = %v, want >= 4s (2s EoP + 2x(1+1)s SAL)", rep.TTC)
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	if err := (&Composite{}).validate(); err == nil {
+		t.Error("empty composite accepted")
+	}
+	if err := (&Composite{Members: []Pattern{nil}}).validate(); err == nil {
+		t.Error("nil member accepted")
+	}
+	bad := &Composite{Members: []Pattern{&EnsembleOfPipelines{}}}
+	if err := bad.validate(); err == nil {
+		t.Error("invalid member accepted")
+	}
+	nested := &Composite{Members: []Pattern{&Composite{Members: []Pattern{
+		&EnsembleOfPipelines{Pipelines: 1, Stages: 1, StageKernel: func(int, int) *Kernel { return sleepKernel(1) }},
+	}}}}
+	if err := nested.validate(); err == nil {
+		t.Error("nested composite accepted")
+	}
+	anon := &Composite{Members: []Pattern{
+		&EnsembleOfPipelines{Pipelines: 1, Stages: 1, StageKernel: func(int, int) *Kernel { return sleepKernel(1) }},
+	}}
+	if anon.PatternName() != "composite" {
+		t.Errorf("default name = %q", anon.PatternName())
+	}
+}
+
+func TestCompositeMemberFailurePropagates(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	v.Run(func() {
+		_, err := h.Execute(&Composite{
+			Members: []Pattern{
+				&EnsembleOfPipelines{
+					Pipelines: 1, Stages: 1,
+					StageKernel: func(int, int) *Kernel {
+						k := sleepKernel(1)
+						k.FailOn = func(int) bool { return true }
+						return k
+					},
+				},
+				&EnsembleOfPipelines{
+					Pipelines: 1, Stages: 1,
+					StageKernel: func(int, int) *Kernel { return sleepKernel(1) },
+				},
+			},
+		})
+		if err == nil || !strings.Contains(err.Error(), "member 1") {
+			t.Errorf("composite failure not propagated: %v", err)
+		}
+	})
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"entk/internal/cluster"
+	"entk/internal/vclock"
+)
+
+// registerTestMachine installs a private machine so core tests don't
+// depend on the paper machines' latency calibration.
+func registerTestMachine(t *testing.T) *cluster.Machine {
+	t.Helper()
+	m := &cluster.Machine{
+		Name:              "test.core",
+		Nodes:             16,
+		CoresPerNode:      8,
+		MemPerNodeGB:      16,
+		AgentBootTime:     2 * time.Second,
+		TaskLaunchLatency: 10 * time.Millisecond,
+		NetLatency:        5 * time.Millisecond,
+		FSBandwidthMBps:   200,
+		FSLatency:         time.Millisecond,
+		QueueWaitBase:     5 * time.Second,
+		QueueWaitPerNode:  0,
+	}
+	if err := cluster.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newHandle(t *testing.T, v *vclock.Virtual, cores int) *ResourceHandle {
+	t.Helper()
+	registerTestMachine(t)
+	h, err := NewResourceHandle("test.core", cores, 100*time.Hour, Config{Clock: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func sleepKernel(seconds float64) *Kernel {
+	return &Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": seconds}}
+}
+
+func TestNewResourceHandleValidation(t *testing.T) {
+	v := vclock.NewVirtual()
+	if _, err := NewResourceHandle("", 4, time.Hour, Config{Clock: v}); err == nil {
+		t.Error("empty resource accepted")
+	}
+	if _, err := NewResourceHandle("r", 0, time.Hour, Config{Clock: v}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := NewResourceHandle("r", 4, 0, Config{Clock: v}); err == nil {
+		t.Error("zero walltime accepted")
+	}
+	if _, err := NewResourceHandle("r", 4, time.Hour, Config{}); err == nil {
+		t.Error("missing clock accepted")
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	if err := (&Kernel{Name: "x"}).Validate(); err != nil {
+		t.Error(err)
+	}
+	var nilK *Kernel
+	if err := nilK.Validate(); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if err := (&Kernel{}).Validate(); err == nil {
+		t.Error("unnamed kernel accepted")
+	}
+	if err := (&Kernel{Name: "x", Cores: -1}).Validate(); err == nil {
+		t.Error("negative cores accepted")
+	}
+	if err := (&Kernel{Name: "x", Cores: 2}).Validate(); err == nil {
+		t.Error("multicore non-MPI accepted")
+	}
+}
+
+func TestPatternValidation(t *testing.T) {
+	sk := func(int, int) *Kernel { return sleepKernel(1) }
+	ek := func(int) *Kernel { return sleepKernel(1) }
+	cases := []Pattern{
+		&EnsembleOfPipelines{Pipelines: 0, Stages: 1, StageKernel: sk},
+		&EnsembleOfPipelines{Pipelines: 1, Stages: 0, StageKernel: sk},
+		&EnsembleOfPipelines{Pipelines: 1, Stages: 1},
+		&EnsembleExchange{Replicas: 1, Cycles: 1, SimulationKernel: sk, ExchangeKernel: ek},
+		&EnsembleExchange{Replicas: 2, Cycles: 0, SimulationKernel: sk, ExchangeKernel: ek},
+		&EnsembleExchange{Replicas: 2, Cycles: 1, ExchangeKernel: ek},
+		&EnsembleExchange{Replicas: 2, Cycles: 1, SimulationKernel: sk},
+		&SimulationAnalysisLoop{Iterations: 0, Simulations: 1, Analyses: 1, SimulationKernel: sk, AnalysisKernel: sk},
+		&SimulationAnalysisLoop{Iterations: 1, Simulations: 0, Analyses: 1, SimulationKernel: sk, AnalysisKernel: sk},
+		&SimulationAnalysisLoop{Iterations: 1, Simulations: 1, Analyses: 0, SimulationKernel: sk, AnalysisKernel: sk},
+		&SimulationAnalysisLoop{Iterations: 1, Simulations: 1, Analyses: 1, AnalysisKernel: sk},
+		&SimulationAnalysisLoop{Iterations: 1, Simulations: 1, Analyses: 1, SimulationKernel: sk},
+	}
+	for i, p := range cases {
+		if err := p.validate(); err == nil {
+			t.Errorf("case %d (%s): invalid pattern accepted", i, p.PatternName())
+		}
+	}
+}
+
+func TestTaskCounts(t *testing.T) {
+	sk := func(int, int) *Kernel { return sleepKernel(1) }
+	ek := func(int) *Kernel { return sleepKernel(1) }
+	eop := &EnsembleOfPipelines{Pipelines: 4, Stages: 3, StageKernel: sk}
+	if got := eop.TaskCount(); got != 12 {
+		t.Errorf("EoP tasks = %d, want 12", got)
+	}
+	ee := &EnsembleExchange{Replicas: 8, Cycles: 2, SimulationKernel: sk, ExchangeKernel: ek}
+	if got := ee.TaskCount(); got != 18 {
+		t.Errorf("EE tasks = %d, want 18", got)
+	}
+	eep := &EnsembleExchange{Replicas: 8, Cycles: 2, SimulationKernel: sk, ExchangeKernel: ek, Mode: PairwiseExchange}
+	if got := eep.TaskCount(); got != 24 {
+		t.Errorf("pairwise EE tasks = %d, want 24", got)
+	}
+	sal := &SimulationAnalysisLoop{Iterations: 2, Simulations: 4, Analyses: 1,
+		SimulationKernel: sk, AnalysisKernel: sk,
+		PreLoop:  func() *Kernel { return sleepKernel(1) },
+		PostLoop: func() *Kernel { return sleepKernel(1) },
+	}
+	if got := sal.TaskCount(); got != 12 {
+		t.Errorf("SAL tasks = %d, want 12", got)
+	}
+}
+
+func TestEnsembleOfPipelinesRuns(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 16)
+	var rep *Report
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(&EnsembleOfPipelines{
+			Pipelines: 8,
+			Stages:    2,
+			StageKernel: func(stage, pipe int) *Kernel {
+				return sleepKernel(float64(stage)) // stage 1: 1s, stage 2: 2s
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rep.Tasks != 16 {
+		t.Errorf("tasks = %d, want 16", rep.Tasks)
+	}
+	s1, s2 := rep.Phase("stage.1"), rep.Phase("stage.2")
+	if s1.Tasks != 8 || s2.Tasks != 8 {
+		t.Errorf("stage tasks = %d/%d, want 8/8", s1.Tasks, s2.Tasks)
+	}
+	// All 16 cores free: each stage runs fully parallel.
+	if s1.Busy != 8*time.Second || s2.Busy != 16*time.Second {
+		t.Errorf("stage busy = %v/%v, want 8s/16s", s1.Busy, s2.Busy)
+	}
+	if rep.CoreOverhead <= 0 || rep.PatternOverhead <= 0 || rep.TTC <= 0 {
+		t.Errorf("missing overheads: %+v", rep)
+	}
+	if rep.QueueWait < 5*time.Second {
+		t.Errorf("queue wait = %v, want >= 5s", rep.QueueWait)
+	}
+}
+
+func TestPipelineStagesAreOrdered(t *testing.T) {
+	// Within a pipeline stage 2 must start after stage 1 stops; across
+	// pipelines there is no ordering.
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 4)
+	v.Run(func() {
+		if err := h.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := h.Run(&EnsembleOfPipelines{
+			Pipelines:   2,
+			Stages:      2,
+			StageKernel: func(stage, pipe int) *Kernel { return sleepKernel(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2 stages of 1s sequential => span of the whole run >= 2s.
+		if rep.TTC < 2*time.Second {
+			t.Errorf("TTC = %v, want >= 2s for 2 ordered stages", rep.TTC)
+		}
+		h.Deallocate()
+	})
+}
+
+func TestEnsembleExchangeCollective(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	var rep *Report
+	exchanged := 0
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(&EnsembleExchange{
+			Replicas:         8,
+			Cycles:           3,
+			SimulationKernel: func(c, r int) *Kernel { return sleepKernel(10) },
+			ExchangeKernel: func(c int) *Kernel {
+				return &Kernel{Name: "md.remd_exchange", Params: map[string]float64{"replicas": 8}}
+			},
+			ExchangeLogic: func(c int) { exchanged++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if exchanged != 3 {
+		t.Errorf("exchange logic ran %d times, want 3", exchanged)
+	}
+	sim := rep.Phase("simulation")
+	exc := rep.Phase("exchange")
+	if sim.Tasks != 24 || sim.Occurrences != 3 {
+		t.Errorf("sim phase = %+v", sim)
+	}
+	if exc.Tasks != 3 || exc.Occurrences != 3 {
+		t.Errorf("exchange phase = %+v", exc)
+	}
+	// 8 replicas on 8 cores: each cycle's sim span ~10s; 3 cycles ~30s.
+	if sim.Span < 30*time.Second || sim.Span > 33*time.Second {
+		t.Errorf("sim span = %v, want ~30s", sim.Span)
+	}
+}
+
+func TestEnsembleExchangePairwiseNoGlobalBarrier(t *testing.T) {
+	// With 4 replicas where replica 1-2 are fast and 3-4 are slow, the
+	// fast pair must complete its exchange before the slow pair finishes
+	// simulating — proving there is no global synchronisation.
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	var fastExchangeAt, slowSimDoneAt time.Duration
+	v.Run(func() {
+		_, err := h.Execute(&EnsembleExchange{
+			Replicas: 4,
+			Cycles:   1,
+			Mode:     PairwiseExchange,
+			SimulationKernel: func(c, r int) *Kernel {
+				if r <= 2 {
+					return sleepKernel(1)
+				}
+				return sleepKernel(100)
+			},
+			ExchangeKernel: func(c int) *Kernel {
+				return &Kernel{Name: "md.remd_exchange", Params: map[string]float64{"replicas": 2}}
+			},
+			PairLogic: func(c, lo, hi int) {
+				if lo == 1 {
+					fastExchangeAt = v.Now()
+				} else {
+					slowSimDoneAt = v.Now()
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if fastExchangeAt == 0 || slowSimDoneAt == 0 {
+		t.Fatal("pair logic did not run for both pairs")
+	}
+	if fastExchangeAt >= slowSimDoneAt {
+		t.Errorf("fast pair exchanged at %v, after slow pair at %v: global barrier detected",
+			fastExchangeAt, slowSimDoneAt)
+	}
+}
+
+func TestSimulationAnalysisLoop(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	var rep *Report
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(&SimulationAnalysisLoop{
+			Iterations:       2,
+			Simulations:      8,
+			Analyses:         1,
+			PreLoop:          func() *Kernel { return sleepKernel(1) },
+			SimulationKernel: func(it, i int) *Kernel { return sleepKernel(5) },
+			AnalysisKernel: func(it, i int) *Kernel {
+				return &Kernel{Name: "ana.coco", Params: map[string]float64{"sims": 8}}
+			},
+			PostLoop: func() *Kernel { return sleepKernel(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rep.Tasks != 2+2*9 {
+		t.Errorf("tasks = %d, want 20", rep.Tasks)
+	}
+	if got := rep.Phase("pre_loop").Tasks; got != 1 {
+		t.Errorf("pre_loop tasks = %d", got)
+	}
+	if got := rep.Phase("simulation").Occurrences; got != 2 {
+		t.Errorf("simulation occurrences = %d, want 2", got)
+	}
+	if got := rep.Phase("analysis").Tasks; got != 2 {
+		t.Errorf("analysis tasks = %d, want 2", got)
+	}
+	if rep.ExecTime() <= 0 {
+		t.Error("zero exec time")
+	}
+	if !strings.Contains(rep.String(), "simulation") {
+		t.Error("report string missing phases")
+	}
+}
+
+func TestSALBarrierBetweenStages(t *testing.T) {
+	// Analysis must not start before every simulation of the iteration
+	// finished (global barrier).
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	var simDone, anaStart time.Duration
+	v.Run(func() {
+		_, err := h.Execute(&SimulationAnalysisLoop{
+			Iterations:  1,
+			Simulations: 4,
+			Analyses:    1,
+			SimulationKernel: func(it, i int) *Kernel {
+				k := sleepKernel(float64(i)) // 1..4s: stragglers
+				if i == 4 {
+					k.Work = func() error { simDone = v.Now(); return nil }
+				}
+				return k
+			},
+			AnalysisKernel: func(it, i int) *Kernel {
+				k := sleepKernel(1)
+				k.Work = func() error {
+					if anaStart == 0 {
+						anaStart = v.Now()
+					}
+					return nil
+				}
+				return k
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if anaStart <= simDone {
+		t.Errorf("analysis finished work at %v before last sim at %v", anaStart, simDone)
+	}
+}
+
+func TestRetrySucceedsAfterInjectedFailures(t *testing.T) {
+	v := vclock.NewVirtual()
+	registerTestMachine(t)
+	h, err := NewResourceHandle("test.core", 8, 100*time.Hour, Config{Clock: v, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *Report
+	v.Run(func() {
+		var runErr error
+		rep, runErr = h.Execute(&EnsembleOfPipelines{
+			Pipelines: 2,
+			Stages:    1,
+			StageKernel: func(st, pl int) *Kernel {
+				k := sleepKernel(1)
+				if pl == 1 {
+					k.FailOn = func(attempt int) bool { return attempt < 2 }
+				}
+				return k
+			},
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+	})
+	if rep.Retries != 2 {
+		t.Errorf("retries = %d, want 2", rep.Retries)
+	}
+}
+
+func TestRetryBudgetExhaustedReportsPatternError(t *testing.T) {
+	v := vclock.NewVirtual()
+	registerTestMachine(t)
+	h, _ := NewResourceHandle("test.core", 8, 100*time.Hour, Config{Clock: v, MaxRetries: 1})
+	v.Run(func() {
+		_, err := h.Execute(&EnsembleOfPipelines{
+			Pipelines: 1,
+			Stages:    1,
+			StageKernel: func(st, pl int) *Kernel {
+				k := sleepKernel(1)
+				k.FailOn = func(int) bool { return true } // always fails
+				return k
+			},
+		})
+		var perr *PatternError
+		if !errors.As(err, &perr) {
+			t.Fatalf("err = %v, want *PatternError", err)
+		}
+		if len(perr.Failed) != 1 || !strings.Contains(perr.Error(), "pipe0001") {
+			t.Errorf("pattern error = %v", perr)
+		}
+	})
+}
+
+func TestRunBeforeAllocateFails(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 4)
+	v.Run(func() {
+		_, err := h.Run(&EnsembleOfPipelines{
+			Pipelines: 1, Stages: 1,
+			StageKernel: func(int, int) *Kernel { return sleepKernel(1) },
+		})
+		if err == nil {
+			t.Error("Run before Allocate succeeded")
+		}
+		if err := h.Deallocate(); err == nil {
+			t.Error("Deallocate before Allocate succeeded")
+		}
+	})
+}
+
+func TestDoubleAllocateFails(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 4)
+	v.Run(func() {
+		if err := h.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Allocate(); err == nil {
+			t.Error("double Allocate succeeded")
+		}
+		h.Deallocate()
+	})
+}
+
+func TestRunNilOrInvalidPattern(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 4)
+	v.Run(func() {
+		h.Allocate()
+		if _, err := h.Run(nil); err == nil {
+			t.Error("nil pattern accepted")
+		}
+		if _, err := h.Run(&EnsembleOfPipelines{}); err == nil {
+			t.Error("invalid pattern accepted")
+		}
+		h.Deallocate()
+	})
+}
+
+func TestMultiplePatternsOnOneHandle(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 8)
+	v.Run(func() {
+		if err := h.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		eop := &EnsembleOfPipelines{Pipelines: 4, Stages: 1,
+			StageKernel: func(int, int) *Kernel { return sleepKernel(1) }}
+		if _, err := h.Run(eop); err != nil {
+			t.Fatal(err)
+		}
+		sal := &SimulationAnalysisLoop{Iterations: 1, Simulations: 4, Analyses: 1,
+			SimulationKernel: func(int, int) *Kernel { return sleepKernel(1) },
+			AnalysisKernel:   func(int, int) *Kernel { return sleepKernel(1) }}
+		if _, err := h.Run(sal); err != nil {
+			t.Fatal(err)
+		}
+		h.Deallocate()
+	})
+}
+
+func TestDefaultPartnerPairing(t *testing.T) {
+	// Odd cycle: (1,2),(3,4); replica 5 unpaired in a 5-replica ladder.
+	cases := []struct{ cycle, replica, replicas, want int }{
+		{1, 1, 5, 2}, {1, 2, 5, 1}, {1, 3, 5, 4}, {1, 4, 5, 3}, {1, 5, 5, 0},
+		{2, 1, 5, 0}, {2, 2, 5, 3}, {2, 3, 5, 2}, {2, 4, 5, 5}, {2, 5, 5, 4},
+	}
+	for _, c := range cases {
+		if got := defaultPartner(c.cycle, c.replica, c.replicas); got != c.want {
+			t.Errorf("partner(c=%d, r=%d, n=%d) = %d, want %d",
+				c.cycle, c.replica, c.replicas, got, c.want)
+		}
+	}
+	// Pairing must be symmetric.
+	for cycle := 1; cycle <= 4; cycle++ {
+		for n := 2; n <= 9; n++ {
+			for r := 1; r <= n; r++ {
+				p := defaultPartner(cycle, r, n)
+				if p == 0 {
+					continue
+				}
+				if back := defaultPartner(cycle, p, n); back != r {
+					t.Errorf("asymmetric pairing: c=%d n=%d r=%d -> %d -> %d", cycle, n, r, p, back)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeModeString(t *testing.T) {
+	if CollectiveExchange.String() != "collective" || PairwiseExchange.String() != "pairwise" {
+		t.Error("exchange mode strings wrong")
+	}
+}
+
+func TestMPIKernelRunsThroughPattern(t *testing.T) {
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, 32)
+	var rep *Report
+	v.Run(func() {
+		var err error
+		rep, err = h.Execute(&SimulationAnalysisLoop{
+			Iterations:  1,
+			Simulations: 2,
+			Analyses:    1,
+			SimulationKernel: func(it, i int) *Kernel {
+				return &Kernel{
+					Name:   "md.amber",
+					Params: map[string]float64{"ps": 6, "atoms": 2881},
+					Cores:  16, // spans 2 nodes of 8
+					MPI:    true,
+				}
+			},
+			AnalysisKernel: func(it, i int) *Kernel { return sleepKernel(1) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rep.Phase("simulation").Tasks != 2 {
+		t.Errorf("sim tasks = %d", rep.Phase("simulation").Tasks)
+	}
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"entk/internal/pilot"
+	"entk/internal/vclock"
+)
+
+// PatternError reports tasks that failed after exhausting their retries.
+type PatternError struct {
+	Pattern string
+	Failed  []string // task names with causes
+}
+
+// Error implements error.
+func (e *PatternError) Error() string {
+	return fmt.Sprintf("core: pattern %s: %d task(s) failed: %s",
+		e.Pattern, len(e.Failed), strings.Join(e.Failed, "; "))
+}
+
+// taskSpec pairs a task name with its kernel.
+type taskSpec struct {
+	name string
+	k    *Kernel
+}
+
+// executor is the execution plugin: it binds a pattern's kernels into
+// pilot units, submits them (serialized, like the real toolkit's client
+// process), enforces the pattern's synchronisation, retries failures, and
+// accumulates the report.
+type executor struct {
+	h   *ResourceHandle
+	pat Pattern
+	v   *vclock.Virtual
+	um  *pilot.UnitManager
+
+	// subLock serializes task submission; the time spent holding it is
+	// the pattern overhead.
+	subLock *vclock.Semaphore
+
+	mu              sync.Mutex
+	patternOverhead time.Duration
+	tasks           int
+	retries         int
+	phases          *phaseAccumulator
+}
+
+func newExecutor(h *ResourceHandle, p Pattern) *executor {
+	return &executor{
+		h:       h,
+		pat:     p,
+		v:       h.cfg.Clock,
+		um:      h.um,
+		subLock: vclock.NewSemaphore(h.cfg.Clock, "core submit", 1),
+		phases:  newPhaseAccumulator(),
+	}
+}
+
+// report assembles the final Report.
+func (ex *executor) report() *Report {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return &Report{
+		Pattern:         ex.pat.PatternName(),
+		Resource:        ex.h.Resource,
+		Cores:           ex.h.Cores,
+		Tasks:           ex.tasks,
+		Retries:         ex.retries,
+		PatternOverhead: ex.patternOverhead,
+		Phases:          ex.phases.stats(),
+	}
+}
+
+// run dispatches to the pattern-specific plugin.
+func (ex *executor) run() error {
+	switch p := ex.pat.(type) {
+	case *EnsembleOfPipelines:
+		return ex.runEoP(p)
+	case *EnsembleExchange:
+		if p.Mode == PairwiseExchange {
+			return ex.runEEPairwise(p)
+		}
+		return ex.runEECollective(p)
+	case *SimulationAnalysisLoop:
+		return ex.runSAL(p)
+	case *Composite:
+		return ex.runComposite(p)
+	default:
+		return fmt.Errorf("core: no execution plugin for pattern %T", ex.pat)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Task execution with retry
+
+// submitTracked validates kernels, binds them to unit descriptions, and
+// submits them under the submission lock, charging the elapsed time to
+// the pattern overhead.
+func (ex *executor) submitTracked(specs []taskSpec, attempts []int) ([]*pilot.ComputeUnit, error) {
+	descs := make([]pilot.UnitDescription, len(specs))
+	for i, s := range specs {
+		if err := s.k.Validate(); err != nil {
+			return nil, err
+		}
+		descs[i] = s.k.bind(s.name, attempts[i])
+	}
+	ex.subLock.Acquire(1)
+	t0 := ex.v.Now()
+	units, err := ex.um.Submit(descs)
+	dt := ex.v.Now() - t0
+	ex.subLock.Release(1)
+	if err != nil {
+		return nil, err
+	}
+	ex.mu.Lock()
+	ex.patternOverhead += dt
+	ex.mu.Unlock()
+	return units, nil
+}
+
+// runTasks executes specs to completion with per-task retry, returning
+// the successful unit for each spec (in order).
+func (ex *executor) runTasks(specs []taskSpec) ([]*pilot.ComputeUnit, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	ex.mu.Lock()
+	ex.tasks += len(specs)
+	ex.mu.Unlock()
+
+	result := make([]*pilot.ComputeUnit, len(specs))
+	pending := make([]int, len(specs)) // indices into specs
+	attempts := make([]int, len(specs))
+	for i := range specs {
+		pending[i] = i
+	}
+	var failures []string
+	for len(pending) > 0 {
+		batch := make([]taskSpec, len(pending))
+		att := make([]int, len(pending))
+		for i, idx := range pending {
+			batch[i] = specs[idx]
+			att[i] = attempts[idx]
+		}
+		units, err := ex.submitTracked(batch, att)
+		if err != nil {
+			return nil, err
+		}
+		var next []int
+		for i, u := range units {
+			idx := pending[i]
+			switch u.WaitFinal() {
+			case pilot.UnitDone:
+				result[idx] = u
+			case pilot.UnitCanceled:
+				failures = append(failures, fmt.Sprintf("%s: canceled", specs[idx].name))
+			default: // failed
+				budget := specs[idx].k.retries(ex.h.cfg.MaxRetries)
+				if attempts[idx] < budget {
+					attempts[idx]++
+					ex.mu.Lock()
+					ex.retries++
+					ex.mu.Unlock()
+					next = append(next, idx)
+				} else {
+					failures = append(failures, fmt.Sprintf("%s: %v", specs[idx].name, u.Err()))
+				}
+			}
+		}
+		pending = next
+	}
+	if len(failures) > 0 {
+		return result, &PatternError{Pattern: ex.pat.PatternName(), Failed: failures}
+	}
+	return result, nil
+}
+
+// unitStats computes the wall span and cumulative busy time of a set of
+// completed units.
+func unitStats(units []*pilot.ComputeUnit) (span, busy time.Duration, n int) {
+	var minStart, maxStop time.Duration
+	first := true
+	for _, u := range units {
+		if u == nil {
+			continue
+		}
+		start, stop, ok := u.ExecWindow()
+		if !ok {
+			continue
+		}
+		n++
+		busy += stop - start
+		if first || start < minStart {
+			minStart = start
+		}
+		if first || stop > maxStop {
+			maxStop = stop
+		}
+		first = false
+	}
+	if !first {
+		span = maxStop - minStart
+	}
+	return span, busy, n
+}
+
+// runPhase executes specs as one occurrence of the named phase and
+// records its stats.
+func (ex *executor) runPhase(name string, specs []taskSpec) ([]*pilot.ComputeUnit, error) {
+	units, err := ex.runTasks(specs)
+	if err != nil {
+		return units, err
+	}
+	span, busy, n := unitStats(units)
+	ex.mu.Lock()
+	ex.phases.add(name, span, busy, n)
+	ex.mu.Unlock()
+	return units, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble of Pipelines plugin
+
+func (ex *executor) runEoP(p *EnsembleOfPipelines) error {
+	// Pipelines execute independently; stages within a pipeline are
+	// sequential. Stage statistics are aggregated after the fact so that
+	// each stage appears once in the report.
+	stageUnits := make([][]*pilot.ComputeUnit, p.Stages)
+	var mu sync.Mutex
+	var firstErr error
+	wg := vclock.NewWaitGroup(ex.v, "eop pipelines")
+	for pl := 1; pl <= p.Pipelines; pl++ {
+		pl := pl
+		wg.Add(1)
+		ex.v.Go(func() {
+			defer wg.Done()
+			for st := 1; st <= p.Stages; st++ {
+				k := p.StageKernel(st, pl)
+				if k == nil {
+					// A nil kernel ends this pipeline early (branching).
+					return
+				}
+				name := fmt.Sprintf("pipe%04d.stage%02d", pl, st)
+				units, err := ex.runTasks([]taskSpec{{name, k}})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				stageUnits[st-1] = append(stageUnits[st-1], units...)
+				mu.Unlock()
+			}
+		})
+	}
+	wg.Wait()
+	for st := 1; st <= p.Stages; st++ {
+		units := stageUnits[st-1]
+		if len(units) == 0 {
+			continue
+		}
+		span, busy, n := unitStats(units)
+		ex.mu.Lock()
+		ex.phases.add(fmt.Sprintf("stage.%d", st), span, busy, n)
+		ex.mu.Unlock()
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble Exchange plugin (collective mode)
+
+func (ex *executor) runEECollective(p *EnsembleExchange) error {
+	for cycle := 1; cycle <= p.Cycles; cycle++ {
+		specs := make([]taskSpec, p.Replicas)
+		for r := 1; r <= p.Replicas; r++ {
+			specs[r-1] = taskSpec{
+				name: fmt.Sprintf("cycle%03d.replica%05d", cycle, r),
+				k:    p.SimulationKernel(cycle, r),
+			}
+		}
+		if _, err := ex.runPhase("simulation", specs); err != nil {
+			return err
+		}
+		exSpec := taskSpec{
+			name: fmt.Sprintf("cycle%03d.exchange", cycle),
+			k:    p.ExchangeKernel(cycle),
+		}
+		if _, err := ex.runPhase("exchange", []taskSpec{exSpec}); err != nil {
+			return err
+		}
+		if p.ExchangeLogic != nil {
+			p.ExchangeLogic(cycle)
+		}
+		if p.StopWhen != nil && p.StopWhen(cycle) {
+			break
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ensemble Exchange plugin (pairwise mode)
+
+func (ex *executor) runEEPairwise(p *EnsembleExchange) error {
+	partner := p.Partner
+	if partner == nil {
+		partner = func(cycle, replica int) int {
+			return defaultPartner(cycle, replica, p.Replicas)
+		}
+	}
+
+	type pairKey struct{ cycle, lo int }
+	var mu sync.Mutex
+	rendezvous := make(map[pairKey]*vclock.Event)
+	var simUnits, exUnits []*pilot.ComputeUnit
+	var firstErr error
+
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	wg := vclock.NewWaitGroup(ex.v, "ee replicas")
+	for r := 1; r <= p.Replicas; r++ {
+		r := r
+		wg.Add(1)
+		ex.v.Go(func() {
+			defer wg.Done()
+			for cycle := 1; cycle <= p.Cycles; cycle++ {
+				name := fmt.Sprintf("cycle%03d.replica%05d", cycle, r)
+				units, err := ex.runTasks([]taskSpec{{name, p.SimulationKernel(cycle, r)}})
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				simUnits = append(simUnits, units...)
+				mu.Unlock()
+
+				q := partner(cycle, r)
+				if q < 1 || q > p.Replicas || q == r {
+					continue // unpaired this cycle
+				}
+				lo, hi := r, q
+				if q < r {
+					lo, hi = q, r
+				}
+				key := pairKey{cycle, lo}
+				mu.Lock()
+				ev, exists := rendezvous[key]
+				if !exists {
+					ev = vclock.NewEvent(ex.v, fmt.Sprintf("ee pair c%d (%d,%d)", cycle, lo, hi))
+					rendezvous[key] = ev
+				}
+				mu.Unlock()
+				if !exists {
+					// First arriver waits for its partner to run the
+					// exchange — no other replicas are involved.
+					ev.Wait()
+					continue
+				}
+				// Second arriver executes the pairwise exchange task.
+				exName := fmt.Sprintf("cycle%03d.exchange.%05d-%05d", cycle, lo, hi)
+				exu, err := ex.runTasks([]taskSpec{{exName, p.ExchangeKernel(cycle)}})
+				if err != nil {
+					fail(err)
+					ev.Fire()
+					return
+				}
+				mu.Lock()
+				exUnits = append(exUnits, exu...)
+				mu.Unlock()
+				if p.PairLogic != nil {
+					p.PairLogic(cycle, lo, hi)
+				}
+				ev.Fire()
+			}
+		})
+	}
+	wg.Wait()
+
+	span, busy, n := unitStats(simUnits)
+	ex.mu.Lock()
+	ex.phases.add("simulation", span, busy, n)
+	ex.mu.Unlock()
+	span, busy, n = unitStats(exUnits)
+	ex.mu.Lock()
+	ex.phases.add("exchange", span, busy, n)
+	ex.mu.Unlock()
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// Simulation Analysis Loop plugin
+
+func (ex *executor) runSAL(p *SimulationAnalysisLoop) error {
+	if p.PreLoop != nil {
+		if k := p.PreLoop(); k != nil {
+			if _, err := ex.runPhase("pre_loop", []taskSpec{{"pre_loop", k}}); err != nil {
+				return err
+			}
+		}
+	}
+	for iter := 1; iter <= p.Iterations; iter++ {
+		width := p.Simulations
+		if p.AdaptiveSimulations != nil {
+			width = p.AdaptiveSimulations(iter)
+			if err := validateAdaptiveWidth(width, iter); err != nil {
+				return err
+			}
+		}
+		sims := make([]taskSpec, width)
+		for i := 1; i <= width; i++ {
+			sims[i-1] = taskSpec{
+				name: fmt.Sprintf("iter%03d.sim%05d", iter, i),
+				k:    p.SimulationKernel(iter, i),
+			}
+		}
+		if _, err := ex.runPhase("simulation", sims); err != nil {
+			return err
+		}
+		anas := make([]taskSpec, p.Analyses)
+		for i := 1; i <= p.Analyses; i++ {
+			anas[i-1] = taskSpec{
+				name: fmt.Sprintf("iter%03d.ana%05d", iter, i),
+				k:    p.AnalysisKernel(iter, i),
+			}
+		}
+		if _, err := ex.runPhase("analysis", anas); err != nil {
+			return err
+		}
+		if p.AdaptiveStop != nil && p.AdaptiveStop(iter) {
+			break
+		}
+	}
+	if p.PostLoop != nil {
+		if k := p.PostLoop(); k != nil {
+			if _, err := ex.runPhase("post_loop", []taskSpec{{"post_loop", k}}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

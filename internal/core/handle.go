@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"entk/internal/kernels"
+	"entk/internal/pilot"
+	"entk/internal/vclock"
+)
+
+// Config carries the toolkit's runtime knobs.
+type Config struct {
+	// Clock is the virtual clock driving the simulation. Required.
+	Clock *vclock.Virtual
+	// Cost predicts kernel runtimes; nil installs the builtin kernel
+	// registry.
+	Cost pilot.CostModel
+	// Runtime tunes the pilot layer; zero value takes pilot defaults.
+	Runtime pilot.Config
+	// MaxRetries is the default per-task retry budget (0 = no retries).
+	MaxRetries int
+	// InitOverhead models toolkit bootstrap (module loading, state
+	// database connection); part of the constant core overhead.
+	InitOverhead time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Clock == nil {
+		return c, fmt.Errorf("core: config needs a clock")
+	}
+	if c.Cost == nil {
+		c.Cost = kernels.NewRegistry()
+	}
+	zero := pilot.Config{}
+	if c.Runtime == zero {
+		c.Runtime = pilot.DefaultConfig()
+	}
+	if c.InitOverhead == 0 {
+		c.InitOverhead = time.Second
+	}
+	return c, nil
+}
+
+// ResourceHandle acquires resources and runs patterns on them (Section
+// III-B3): Allocate submits the pilot, Run executes a pattern, Deallocate
+// releases the allocation. Execute chains all three and produces the full
+// TTC report.
+type ResourceHandle struct {
+	// Resource is the machine label, e.g. "xsede.comet".
+	Resource string
+	// Cores is the pilot size.
+	Cores int
+	// Walltime bounds the allocation.
+	Walltime time.Duration
+	// Queue and Project pass through to the batch system.
+	Queue   string
+	Project string
+
+	cfg  Config
+	sess *pilot.Session
+	pm   *pilot.PilotManager
+	um   *pilot.UnitManager
+	p    *pilot.ComputePilot
+
+	mu           sync.Mutex
+	allocated    bool
+	allocCtl     time.Duration // control-plane time spent in Allocate
+	deallocCtl   time.Duration // control-plane time spent in Deallocate
+	queueWait    time.Duration
+	agentStartup time.Duration
+}
+
+// NewResourceHandle validates the request and prepares a handle.
+func NewResourceHandle(resource string, cores int, walltime time.Duration, cfg Config) (*ResourceHandle, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if resource == "" {
+		return nil, fmt.Errorf("core: resource handle needs a resource")
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("core: resource handle needs at least one core")
+	}
+	if walltime <= 0 {
+		return nil, fmt.Errorf("core: resource handle needs a positive walltime")
+	}
+	return &ResourceHandle{
+		Resource: resource,
+		Cores:    cores,
+		Walltime: walltime,
+		cfg:      full,
+	}, nil
+}
+
+// Session exposes the underlying runtime session (profiling, tests).
+func (h *ResourceHandle) Session() *pilot.Session { return h.sess }
+
+// Pilot exposes the allocated pilot, nil before Allocate.
+func (h *ResourceHandle) Pilot() *pilot.ComputePilot { return h.p }
+
+// Allocate initialises the toolkit and submits the resource request. It
+// returns once the request is submitted (not when it becomes active);
+// Run waits for activation. The time spent here is control-plane work and
+// counts toward the core overhead.
+func (h *ResourceHandle) Allocate() error {
+	h.mu.Lock()
+	if h.allocated {
+		h.mu.Unlock()
+		return fmt.Errorf("core: resource handle already allocated")
+	}
+	h.allocated = true
+	h.mu.Unlock()
+
+	v := h.cfg.Clock
+	t0 := v.Now()
+	v.Sleep(h.cfg.InitOverhead) // toolkit bootstrap
+	h.sess = pilot.NewSession(v, h.cfg.Cost, h.cfg.Runtime)
+	h.pm = pilot.NewPilotManager(h.sess)
+	h.um = pilot.NewUnitManager(h.sess)
+	p, err := h.pm.Submit(pilot.PilotDescription{
+		Resource: h.Resource,
+		Cores:    h.Cores,
+		Walltime: h.Walltime,
+		Queue:    h.Queue,
+		Project:  h.Project,
+	})
+	if err != nil {
+		h.mu.Lock()
+		h.allocated = false
+		h.mu.Unlock()
+		return err
+	}
+	h.p = p
+	h.um.AddPilot(p)
+	h.mu.Lock()
+	h.allocCtl = v.Now() - t0
+	h.mu.Unlock()
+	return nil
+}
+
+// waitActive blocks until the pilot accepts units, recording the queue
+// wait (which is resource wait, not toolkit overhead).
+func (h *ResourceHandle) waitActive() error {
+	if h.p == nil {
+		return fmt.Errorf("core: resource handle not allocated")
+	}
+	v := h.cfg.Clock
+	t0 := v.Now()
+	h.p.WaitActive()
+	if h.p.State() != pilot.PilotActive {
+		return fmt.Errorf("core: pilot failed before activation (%v)", h.p.State())
+	}
+	h.mu.Lock()
+	h.queueWait = h.p.QueueWait()
+	h.agentStartup = v.Now() - t0 - h.queueWait
+	if h.agentStartup < 0 {
+		h.agentStartup = 0
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// Run executes one pattern on the allocated resources and returns its
+// report. Multiple patterns may run sequentially on one handle.
+func (h *ResourceHandle) Run(p Pattern) (*Report, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil pattern")
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	ok := h.allocated
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: Run before Allocate")
+	}
+	if err := h.waitActive(); err != nil {
+		return nil, err
+	}
+
+	ex := newExecutor(h, p)
+	v := h.cfg.Clock
+	t0 := v.Now()
+	err := ex.run()
+	ttc := v.Now() - t0
+
+	rep := ex.report()
+	rep.TTC = ttc
+	h.mu.Lock()
+	rep.CoreOverhead = h.allocCtl + h.deallocCtl
+	rep.QueueWait = h.queueWait
+	rep.AgentStartup = h.agentStartup
+	h.mu.Unlock()
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Deallocate cancels the pilot and releases the session. Its control time
+// joins the core overhead of subsequently produced reports.
+func (h *ResourceHandle) Deallocate() error {
+	h.mu.Lock()
+	if !h.allocated {
+		h.mu.Unlock()
+		return fmt.Errorf("core: Deallocate before Allocate")
+	}
+	h.mu.Unlock()
+	v := h.cfg.Clock
+	t0 := v.Now()
+	if h.p != nil {
+		h.p.Cancel()
+		h.p.WaitFinal()
+	}
+	h.mu.Lock()
+	h.deallocCtl = v.Now() - t0
+	h.mu.Unlock()
+	return nil
+}
+
+// Execute allocates, runs the pattern, and deallocates, returning a
+// report whose core overhead includes both control phases. This is what
+// the experiment harness uses.
+func (h *ResourceHandle) Execute(p Pattern) (*Report, error) {
+	if err := h.Allocate(); err != nil {
+		return nil, err
+	}
+	rep, runErr := h.Run(p)
+	if err := h.Deallocate(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if rep != nil {
+		h.mu.Lock()
+		rep.CoreOverhead = h.allocCtl + h.deallocCtl
+		h.mu.Unlock()
+	}
+	return rep, runErr
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"entk/internal/linalg"
+	"entk/internal/md"
+	"entk/internal/vclock"
+)
+
+// TestREMDPhysicsIntegration runs the EE pattern with the real
+// replica-exchange logic end to end: the exchange hook samples energies
+// and applies Metropolis swaps, and the physical invariants (temperature
+// ladder conservation, sane acceptance) must hold after execution
+// through the full toolkit + runtime stack.
+func TestREMDPhysicsIntegration(t *testing.T) {
+	const replicas, cycles = 16, 6
+	ensemble, err := md.NewEnsemble(replicas, 300, 600, md.AlanineDipeptide.Atoms, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder := append([]float64(nil), ensemble.Temperatures()...)
+
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, replicas)
+	var rep *Report
+	v.Run(func() {
+		var runErr error
+		rep, runErr = h.Execute(&EnsembleExchange{
+			Replicas: replicas,
+			Cycles:   cycles,
+			SimulationKernel: func(cycle, r int) *Kernel {
+				return &Kernel{
+					Name:   "md.amber",
+					Params: map[string]float64{"atoms": float64(md.AlanineDipeptide.Atoms), "ps": 6},
+				}
+			},
+			ExchangeKernel: func(cycle int) *Kernel {
+				return &Kernel{Name: "md.remd_exchange", Params: map[string]float64{"replicas": replicas}}
+			},
+			ExchangeLogic: func(cycle int) {
+				ensemble.SampleEnergies()
+				ensemble.ExchangeSweep(cycle)
+			},
+		})
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+	})
+
+	// Toolkit-side invariants.
+	if got := rep.Phase("simulation").Tasks; got != replicas*cycles {
+		t.Errorf("simulation tasks = %d, want %d", got, replicas*cycles)
+	}
+	if got := rep.Phase("exchange").Occurrences; got != cycles {
+		t.Errorf("exchange occurrences = %d, want %d", got, cycles)
+	}
+
+	// Physics-side invariants: the temperature multiset is conserved and
+	// some exchanges were accepted.
+	final := ensemble.Temperatures()
+	sortFloats(final)
+	ref := append([]float64(nil), ladder...)
+	sortFloats(ref)
+	for i := range ref {
+		if math.Abs(final[i]-ref[i]) > 1e-9 {
+			t.Fatalf("temperature ladder not conserved: %v vs %v", final, ref)
+		}
+	}
+	if ar := ensemble.AcceptanceRatio(); ar <= 0 || ar > 1 {
+		t.Errorf("acceptance ratio = %v", ar)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}
+
+// TestSALCoCoIntegration runs the SAL pattern with real trajectories and
+// CoCo analysis through the full stack and asserts the sampling actually
+// improves (the second basin gets visited after CoCo-directed restarts).
+func TestSALCoCoIntegration(t *testing.T) {
+	const sims, iters, frames = 8, 3, 300
+	sys := md.AlanineDipeptide
+	starts := make([][]float64, sims)
+	for i := range starts {
+		starts[i] = make([]float64, sys.Dim)
+		starts[i][0] = -1
+	}
+	var mu sync.Mutex
+	var pooled []*linalg.Matrix
+	v := vclock.NewVirtual()
+	h := newHandle(t, v, sims)
+	v.Run(func() {
+		_, err := h.Execute(&SimulationAnalysisLoop{
+			Iterations:  iters,
+			Simulations: sims,
+			Analyses:    1,
+			SimulationKernel: func(iter, inst int) *Kernel {
+				k := &Kernel{
+					Name:   "md.amber",
+					Params: map[string]float64{"atoms": float64(sys.Atoms), "ps": 0.6},
+				}
+				k.Work = func() error {
+					mu.Lock()
+					start := append([]float64(nil), starts[inst-1]...)
+					mu.Unlock()
+					traj, err := md.Trajectory(sys, start, frames, 300, int64(iter*100+inst))
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					pooled = append(pooled, traj)
+					mu.Unlock()
+					return nil
+				}
+				return k
+			},
+			AnalysisKernel: func(iter, inst int) *Kernel {
+				k := &Kernel{Name: "ana.coco", Params: map[string]float64{"sims": sims}}
+				k.Work = func() error {
+					mu.Lock()
+					defer mu.Unlock()
+					all, err := md.Concat(pooled)
+					if err != nil {
+						return err
+					}
+					res, err := md.CoCo(all, 2, sims)
+					if err != nil {
+						return err
+					}
+					copy(starts, res.StartPoints[:sims])
+					return nil
+				}
+				return k
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	all, err := md.Concat(pooled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := md.BasinFractions(all)
+	if left == 0 {
+		t.Error("lost the starting basin entirely")
+	}
+	if right == 0 {
+		t.Error("CoCo-directed sampling never reached the second basin")
+	}
+	// Work hooks run synchronously at task completion: the pool holds
+	// every trajectory.
+	if len(pooled) != sims*iters {
+		t.Errorf("%d trajectories pooled, want %d", len(pooled), sims*iters)
+	}
+}

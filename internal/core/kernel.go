@@ -1,0 +1,95 @@
+// Package core implements the Ensemble Toolkit itself — the paper's
+// contribution (Section III): kernel plugins as the task abstraction,
+// the three execution patterns (ensemble of pipelines, ensemble exchange,
+// simulation-analysis loop), the resource handle, and the execution
+// plugins that bind a pattern's kernels into compute units and forward
+// them to the pilot runtime. Applications parametrise a pattern with
+// kernels and hand it to a ResourceHandle; everything below — task
+// creation, submission, synchronisation, staging, scheduling — is hidden
+// in this layer and the runtime.
+package core
+
+import (
+	"fmt"
+
+	"entk/internal/pilot"
+	"entk/internal/stage"
+)
+
+// Kernel instantiates a kernel plugin for one task: the science tool, its
+// arguments and cost-model parameters, its resource needs, and its data
+// staging. It is the only vocabulary applications need to describe work.
+type Kernel struct {
+	// Name selects the kernel plugin, e.g. "md.amber".
+	Name string
+	// Args are the tool's command-line arguments (informational; the
+	// plugin resolves the executable per machine).
+	Args []string
+	// Params feed the plugin's cost model (atoms, ps, sims, ...).
+	Params map[string]float64
+	// Cores is the core count (default 1).
+	Cores int
+	// MPI marks the task as an MPI executable allowed to span nodes.
+	MPI bool
+	// InputStaging and OutputStaging move data before/after execution.
+	InputStaging  []stage.Directive
+	OutputStaging []stage.Directive
+	// Work, if non-nil, runs real computation when the task completes;
+	// the analysis examples use it to produce actual numbers.
+	Work func() error
+	// Retries overrides the pattern's retry budget for this task;
+	// negative means "use the default".
+	Retries int
+	// FailOn injects deterministic failures per attempt (testing and
+	// fault-tolerance demos).
+	FailOn func(attempt int) bool
+}
+
+// Validate rejects malformed kernels.
+func (k *Kernel) Validate() error {
+	if k == nil {
+		return fmt.Errorf("core: nil kernel")
+	}
+	if k.Name == "" {
+		return fmt.Errorf("core: kernel has no name")
+	}
+	if k.Cores < 0 {
+		return fmt.Errorf("core: kernel %s has negative cores", k.Name)
+	}
+	if k.Cores > 1 && !k.MPI {
+		return fmt.Errorf("core: kernel %s wants %d cores but is not MPI", k.Name, k.Cores)
+	}
+	return nil
+}
+
+// bind translates the kernel into a pilot unit description — the job of
+// the execution plugin's static binding step.
+func (k *Kernel) bind(taskName string, attempt int) pilot.UnitDescription {
+	cores := k.Cores
+	if cores == 0 {
+		cores = 1
+	}
+	return pilot.UnitDescription{
+		Name:          taskName,
+		Kernel:        k.Name,
+		Params:        k.Params,
+		Cores:         cores,
+		MPI:           k.MPI,
+		InputStaging:  k.InputStaging,
+		OutputStaging: k.OutputStaging,
+		Work:          k.Work,
+		Attempt:       attempt,
+		FailOn:        k.FailOn,
+	}
+}
+
+// retries resolves the kernel's retry budget against the default.
+func (k *Kernel) retries(def int) int {
+	if k.Retries < 0 {
+		return def
+	}
+	if k.Retries > 0 {
+		return k.Retries
+	}
+	return def
+}

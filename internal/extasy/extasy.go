@@ -1,0 +1,263 @@
+// Package extasy implements an ExTASY-style coupled simulation-analysis
+// driver (Balasubramanian et al. [8], the project that motivated the
+// Ensemble Toolkit): advanced-sampling campaigns that alternate an
+// ensemble of MD engines with a collective analysis — either
+// diffusion-map-directed MD (Gromacs + LSDMap) or CoCo-directed MD
+// (Amber + CoCo) — expressed as a SAL pattern over the toolkit. Campaigns
+// are described by a JSON config mirroring ExTASY's workload/resource
+// config split.
+package extasy
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"entk/internal/core"
+	"entk/internal/linalg"
+	"entk/internal/md"
+	"entk/internal/vclock"
+)
+
+// Workflow selects the simulation/analysis pairing.
+type Workflow string
+
+const (
+	// CoCoAmber is the Amber + CoCo pairing (DM-d-MD's sibling used in
+	// the paper's Figures 7-9).
+	CoCoAmber Workflow = "coco-amber"
+	// DMdMD is the Gromacs + LSDMap pairing (Figure 4).
+	DMdMD Workflow = "dm-d-md"
+)
+
+// WorkloadConfig mirrors ExTASY's workload description.
+type WorkloadConfig struct {
+	Workflow    Workflow `json:"workflow"`
+	Simulations int      `json:"simulations"`
+	Iterations  int      `json:"iterations"`
+	PsPerIter   float64  `json:"ps_per_iter"`
+	Frames      int      `json:"frames"`
+	TempK       float64  `json:"temp_k"`
+	Seed        int64    `json:"seed"`
+}
+
+// ResourceConfig mirrors ExTASY's resource description.
+type ResourceConfig struct {
+	Resource    string `json:"resource"`
+	Cores       int    `json:"cores"`
+	WalltimeMin int    `json:"walltime_min"`
+}
+
+// Config is a full campaign description.
+type Config struct {
+	Workload WorkloadConfig `json:"workload"`
+	Resource ResourceConfig `json:"resource"`
+}
+
+// ParseConfig reads a campaign description from JSON.
+func ParseConfig(raw []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("extasy: parsing config: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+func (c *Config) validate() error {
+	w, r := &c.Workload, &c.Resource
+	if w.Workflow != CoCoAmber && w.Workflow != DMdMD {
+		return fmt.Errorf("extasy: unknown workflow %q", w.Workflow)
+	}
+	if w.Simulations < 1 || w.Iterations < 1 {
+		return fmt.Errorf("extasy: need >=1 simulations and iterations")
+	}
+	if r.Resource == "" || r.Cores < 1 {
+		return fmt.Errorf("extasy: resource config incomplete")
+	}
+	return nil
+}
+
+// withDefaults fills optional workload fields.
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Workload.PsPerIter == 0 {
+		out.Workload.PsPerIter = 0.6
+	}
+	if out.Workload.Frames == 0 {
+		out.Workload.Frames = 200
+	}
+	if out.Workload.TempK == 0 {
+		out.Workload.TempK = 300
+	}
+	if out.Resource.WalltimeMin == 0 {
+		out.Resource.WalltimeMin = 24 * 60
+	}
+	return out
+}
+
+// Result carries the campaign outcome.
+type Result struct {
+	// Report is the toolkit's TTC decomposition.
+	Report *core.Report
+	// BasinLeft/BasinRight are the final sampling fractions of the two
+	// free-energy basins.
+	BasinLeft, BasinRight float64
+	// FramesSampled is the total number of trajectory frames produced.
+	FramesSampled int
+	// AnalysisOutputs counts analysis passes that produced new restart
+	// points.
+	AnalysisOutputs int
+}
+
+// Run executes the campaign. Must be called inside clock.Run.
+func Run(clock *vclock.Virtual, cfg *Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	full := cfg.withDefaults()
+	w, rc := full.Workload, full.Resource
+	sys := md.AlanineDipeptide
+
+	h, err := core.NewResourceHandle(rc.Resource, rc.Cores,
+		time.Duration(rc.WalltimeMin)*time.Minute, core.Config{Clock: clock})
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	starts := make([][]float64, w.Simulations)
+	for i := range starts {
+		starts[i] = make([]float64, sys.Dim)
+		starts[i][0] = -1
+	}
+	var pooled []*linalg.Matrix
+	res := &Result{}
+
+	simName, anaName := "md.amber", "ana.coco"
+	if w.Workflow == DMdMD {
+		simName, anaName = "md.gromacs", "ana.lsdmap"
+	}
+
+	pattern := &core.SimulationAnalysisLoop{
+		Iterations:  w.Iterations,
+		Simulations: w.Simulations,
+		Analyses:    1,
+		SimulationKernel: func(iter, inst int) *core.Kernel {
+			return &core.Kernel{
+				Name:   simName,
+				Params: map[string]float64{"atoms": float64(sys.Atoms), "ps": w.PsPerIter},
+				Work: func() error {
+					mu.Lock()
+					start := append([]float64(nil), starts[inst-1]...)
+					mu.Unlock()
+					traj, err := md.Trajectory(sys, start, w.Frames, w.TempK,
+						w.Seed+int64(iter*10000+inst))
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					pooled = append(pooled, traj)
+					mu.Unlock()
+					return nil
+				},
+			}
+		},
+		AnalysisKernel: func(iter, inst int) *core.Kernel {
+			params := map[string]float64{"sims": float64(w.Simulations)}
+			if anaName == "ana.lsdmap" {
+				params = map[string]float64{"points": float64(w.Simulations * w.Frames / 10)}
+			}
+			return &core.Kernel{
+				Name:   anaName,
+				Params: params,
+				Work: func() error {
+					mu.Lock()
+					defer mu.Unlock()
+					all, err := md.Concat(pooled)
+					if err != nil {
+						return err
+					}
+					next, err := analyse(w.Workflow, all, w.Simulations)
+					if err != nil {
+						return err
+					}
+					copy(starts, next)
+					res.AnalysisOutputs++
+					return nil
+				},
+			}
+		},
+	}
+
+	rep, err := h.Execute(pattern)
+	if err != nil {
+		return nil, err
+	}
+	res.Report = rep
+
+	mu.Lock()
+	defer mu.Unlock()
+	all, err := md.Concat(pooled)
+	if err != nil {
+		return nil, err
+	}
+	res.FramesSampled = all.Rows
+	res.BasinLeft, res.BasinRight = md.BasinFractions(all)
+	return res, nil
+}
+
+// analyse picks the next iteration's start points with the workflow's
+// analysis algorithm: CoCo extends PCA extremes; DM-d-MD seeds from the
+// spread of the diffusion embedding.
+func analyse(w Workflow, all *linalg.Matrix, n int) ([][]float64, error) {
+	if w == CoCoAmber {
+		res, err := md.CoCo(all, 2, n)
+		if err != nil {
+			return nil, err
+		}
+		return res.StartPoints[:n], nil
+	}
+	// DM-d-MD: subsample, embed with LSDMap, and restart from the points
+	// with extreme first diffusion coordinates (the slowest collective
+	// mode), alternating both ends.
+	sub, err := md.Subsample(all, maxInt(1, all.Rows/200))
+	if err != nil {
+		return nil, err
+	}
+	emb, err := md.LSDMap(sub, 1.0, 1)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, sub.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort indices by the first diffusion coordinate.
+	for i := 1; i < len(idx); i++ {
+		for k := i; k > 0 && emb.Coords.At(idx[k], 0) < emb.Coords.At(idx[k-1], 0); k-- {
+			idx[k], idx[k-1] = idx[k-1], idx[k]
+		}
+	}
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		var pick int
+		if i%2 == 0 {
+			pick = idx[i/2%len(idx)] // low end
+		} else {
+			pick = idx[len(idx)-1-i/2%len(idx)] // high end
+		}
+		out[i] = append([]float64(nil), sub.Row(pick)...)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

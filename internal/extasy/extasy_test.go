@@ -1,0 +1,114 @@
+package extasy
+
+import (
+	"testing"
+
+	"entk/internal/vclock"
+)
+
+func validConfig(w Workflow) *Config {
+	return &Config{
+		Workload: WorkloadConfig{
+			Workflow:    w,
+			Simulations: 8,
+			Iterations:  2,
+			Frames:      150,
+			Seed:        5,
+		},
+		Resource: ResourceConfig{Resource: "xsede.stampede", Cores: 8},
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	raw := []byte(`{
+		"workload": {"workflow": "coco-amber", "simulations": 4, "iterations": 2},
+		"resource": {"resource": "xsede.stampede", "cores": 4}
+	}`)
+	cfg, err := ParseConfig(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workload.Workflow != CoCoAmber || cfg.Resource.Cores != 4 {
+		t.Errorf("parsed = %+v", cfg)
+	}
+	if _, err := ParseConfig([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"workload":{"workflow":"nope","simulations":1,"iterations":1},"resource":{"resource":"r","cores":1}}`)); err == nil {
+		t.Error("unknown workflow accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"workload":{"workflow":"coco-amber","simulations":0,"iterations":1},"resource":{"resource":"r","cores":1}}`)); err == nil {
+		t.Error("zero simulations accepted")
+	}
+	if _, err := ParseConfig([]byte(`{"workload":{"workflow":"coco-amber","simulations":1,"iterations":1},"resource":{"cores":0}}`)); err == nil {
+		t.Error("missing resource accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := validConfig(CoCoAmber)
+	cfg.Workload.Frames = 0
+	full := cfg.withDefaults()
+	if full.Workload.PsPerIter != 0.6 || full.Workload.Frames != 200 ||
+		full.Workload.TempK != 300 || full.Resource.WalltimeMin != 24*60 {
+		t.Errorf("defaults = %+v", full)
+	}
+}
+
+func TestCoCoAmberCampaign(t *testing.T) {
+	v := vclock.NewVirtual()
+	var res *Result
+	var err error
+	v.Run(func() {
+		res, err = Run(v, validConfig(CoCoAmber))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Phase("simulation").Tasks != 16 {
+		t.Errorf("sim tasks = %d, want 16", res.Report.Phase("simulation").Tasks)
+	}
+	if res.AnalysisOutputs != 2 {
+		t.Errorf("analysis outputs = %d, want 2", res.AnalysisOutputs)
+	}
+	if res.FramesSampled != 8*2*150 {
+		t.Errorf("frames = %d, want 2400", res.FramesSampled)
+	}
+	if res.BasinLeft <= 0 {
+		t.Errorf("basin fractions = %v/%v", res.BasinLeft, res.BasinRight)
+	}
+}
+
+func TestDMdMDCampaign(t *testing.T) {
+	v := vclock.NewVirtual()
+	var res *Result
+	var err error
+	v.Run(func() {
+		res, err = Run(v, validConfig(DMdMD))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Phase("analysis").Tasks != 2 {
+		t.Errorf("analysis tasks = %d, want 2", res.Report.Phase("analysis").Tasks)
+	}
+	if res.FramesSampled == 0 {
+		t.Error("no frames sampled")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	v := vclock.NewVirtual()
+	v.Run(func() {
+		bad := validConfig(CoCoAmber)
+		bad.Workload.Workflow = "bogus"
+		if _, err := Run(v, bad); err == nil {
+			t.Error("invalid workflow accepted at Run")
+		}
+		unknown := validConfig(CoCoAmber)
+		unknown.Resource.Resource = "no.such.machine"
+		if _, err := Run(v, unknown); err == nil {
+			t.Error("unknown resource accepted at Run")
+		}
+	})
+}

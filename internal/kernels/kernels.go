@@ -1,0 +1,152 @@
+// Package kernels implements EnTK's kernel plugins (Section III-B2): an
+// abstraction of a computational task that hides resource-specific
+// peculiarities. A Spec names a science tool, resolves the right
+// executable for each machine, and carries a cost model that predicts the
+// tool's execution time from its parameters, core count, and machine —
+// the simulation stand-in for actually running Amber or Gromacs.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"entk/internal/cluster"
+)
+
+// Params carries a kernel's numeric parameters (atom counts, simulated
+// picoseconds, file sizes, ...). Missing keys fall back to the spec's
+// defaults. It is an alias so plain map literals work across packages.
+type Params = map[string]float64
+
+// clone returns a copy of p merged over defaults.
+func merged(defaults, p Params) Params {
+	out := make(Params, len(defaults)+len(p))
+	for k, v := range defaults {
+		out[k] = v
+	}
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// CostFn predicts execution time for resolved params on cores of machine m.
+type CostFn func(p Params, cores int, m *cluster.Machine) time.Duration
+
+// Spec is a kernel plugin definition.
+type Spec struct {
+	// Name is the registry key, e.g. "md.amber".
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Executables maps machine names to tool paths; "*" is the fallback.
+	// This is the "kernel-specific peculiarities across resources" the
+	// plugin hides.
+	Executables map[string]string
+	// DefaultParams supplies parameter defaults.
+	DefaultParams Params
+	// Cost is the execution-time model. Required.
+	Cost CostFn
+}
+
+// Executable resolves the tool path for machine m, falling back to "*".
+func (s *Spec) Executable(m *cluster.Machine) (string, error) {
+	if exe, ok := s.Executables[m.Name]; ok {
+		return exe, nil
+	}
+	if exe, ok := s.Executables["*"]; ok {
+		return exe, nil
+	}
+	return "", fmt.Errorf("kernels: %s has no executable for %s", s.Name, m.Name)
+}
+
+// Duration evaluates the cost model with defaults applied.
+func (s *Spec) Duration(p Params, cores int, m *cluster.Machine) (time.Duration, error) {
+	if cores < 1 {
+		return 0, fmt.Errorf("kernels: %s invoked with %d cores", s.Name, cores)
+	}
+	d := s.Cost(merged(s.DefaultParams, p), cores, m)
+	if d < 0 {
+		return 0, fmt.Errorf("kernels: %s cost model returned negative duration", s.Name)
+	}
+	return d, nil
+}
+
+// Registry maps kernel names to specs. The zero value is unusable; use
+// NewRegistry (which installs the builtins) or NewEmptyRegistry.
+type Registry struct {
+	mu    sync.RWMutex
+	specs map[string]*Spec
+}
+
+// NewEmptyRegistry returns a registry with no kernels.
+func NewEmptyRegistry() *Registry {
+	return &Registry{specs: make(map[string]*Spec)}
+}
+
+// NewRegistry returns a registry pre-populated with the builtin kernels
+// used by the paper's experiments.
+func NewRegistry() *Registry {
+	r := NewEmptyRegistry()
+	for _, s := range Builtins() {
+		if err := r.Register(s); err != nil {
+			panic(err) // builtin table is static; failure is a programming error
+		}
+	}
+	return r
+}
+
+// Register adds a spec, rejecting duplicates and malformed specs.
+func (r *Registry) Register(s *Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("kernels: spec has no name")
+	}
+	if s.Cost == nil {
+		return fmt.Errorf("kernels: %s has no cost model", s.Name)
+	}
+	if len(s.Executables) == 0 {
+		return fmt.Errorf("kernels: %s has no executables", s.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[s.Name]; dup {
+		return fmt.Errorf("kernels: %s already registered", s.Name)
+	}
+	r.specs[s.Name] = s
+	return nil
+}
+
+// Lookup returns the spec registered under name.
+func (r *Registry) Lookup(name string) (*Spec, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[name]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+	}
+	return s, nil
+}
+
+// Names returns the sorted registered kernel names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.specs))
+	for n := range r.specs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Duration implements the pilot layer's CostModel interface: it predicts
+// the runtime of kernel name with params on cores of m.
+func (r *Registry) Duration(name string, params map[string]float64, cores int, m *cluster.Machine) (time.Duration, error) {
+	s, err := r.Lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return s.Duration(params, cores, m)
+}

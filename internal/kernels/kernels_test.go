@@ -1,0 +1,194 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"entk/internal/cluster"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewEmptyRegistry()
+	spec := &Spec{
+		Name:        "test.k",
+		Executables: map[string]string{"*": "k"},
+		Cost:        func(Params, int, *cluster.Machine) time.Duration { return time.Second },
+	}
+	if err := r.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Lookup("test.k")
+	if err != nil || got != spec {
+		t.Fatalf("Lookup = %v,%v", got, err)
+	}
+	if err := r.Register(spec); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewEmptyRegistry()
+	cost := func(Params, int, *cluster.Machine) time.Duration { return 0 }
+	bad := []*Spec{
+		{Executables: map[string]string{"*": "x"}, Cost: cost},
+		{Name: "a", Cost: cost},
+		{Name: "b", Executables: map[string]string{"*": "x"}},
+	}
+	for i, s := range bad {
+		if err := r.Register(s); err == nil {
+			t.Errorf("case %d: malformed spec accepted", i)
+		}
+	}
+}
+
+func TestBuiltinsAllRegistered(t *testing.T) {
+	r := NewRegistry()
+	want := []string{
+		"ana.coco", "ana.lsdmap",
+		"md.amber", "md.gromacs", "md.remd_exchange",
+		"misc.ccount", "misc.mkfile", "misc.sleep",
+	}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExecutableResolution(t *testing.T) {
+	r := NewRegistry()
+	amber, _ := r.Lookup("md.amber")
+	exe, err := amber.Executable(&cluster.Comet)
+	if err != nil || !strings.Contains(exe, "amber") {
+		t.Errorf("comet amber exe = %q, %v", exe, err)
+	}
+	// Unknown machine falls back to "*".
+	other := &cluster.Machine{Name: "other.site", Nodes: 1, CoresPerNode: 1, FSBandwidthMBps: 1}
+	exe, err = amber.Executable(other)
+	if err != nil || exe != "pmemd" {
+		t.Errorf("fallback exe = %q, %v", exe, err)
+	}
+	noFallback := &Spec{
+		Name:        "x",
+		Executables: map[string]string{"xsede.comet": "only-comet"},
+		Cost:        func(Params, int, *cluster.Machine) time.Duration { return 0 },
+	}
+	if _, err := noFallback.Executable(other); err == nil {
+		t.Error("missing executable accepted")
+	}
+}
+
+func TestDurationDefaultsAndOverrides(t *testing.T) {
+	r := NewRegistry()
+	m := &cluster.SuperMIC
+	// Default amber params: 2881 atoms, 6 ps, 1 core.
+	d1, err := r.Duration("md.amber", nil, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := secs(mdBaseSec + 6*2881*amberSecPerPsAtom)
+	if d1 != want {
+		t.Errorf("default amber duration = %v, want %v", d1, want)
+	}
+	// Halving ps roughly halves the work term.
+	d2, err := r.Duration("md.amber", Params{"ps": 3}, 1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 >= d1 {
+		t.Errorf("ps=3 (%v) not cheaper than ps=6 (%v)", d2, d1)
+	}
+	if _, err := r.Duration("md.amber", nil, 0, m); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := r.Duration("nope", nil, 1, m); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestMDStrongScalingShape(t *testing.T) {
+	r := NewRegistry()
+	m := &cluster.Stampede
+	prev, _ := r.Duration("md.amber", Params{"ps": 6}, 1, m)
+	for _, cores := range []int{2, 4, 8, 16, 32, 64} {
+		d, err := r.Duration("md.amber", Params{"ps": 6}, cores, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d >= prev {
+			t.Errorf("amber on %d cores (%v) not faster than on %d (%v)", cores, d, cores/2, prev)
+		}
+		prev = d
+	}
+}
+
+func TestExchangeCostGrowsWithReplicas(t *testing.T) {
+	r := NewRegistry()
+	m := &cluster.SuperMIC
+	d20, _ := r.Duration("md.remd_exchange", Params{"replicas": 20}, 1, m)
+	d2560, _ := r.Duration("md.remd_exchange", Params{"replicas": 2560}, 1, m)
+	if d2560 <= d20 {
+		t.Errorf("exchange(2560)=%v not greater than exchange(20)=%v", d2560, d20)
+	}
+	// Independent of cores: serial step.
+	d1c, _ := r.Duration("md.remd_exchange", Params{"replicas": 100}, 1, m)
+	d64c, _ := r.Duration("md.remd_exchange", Params{"replicas": 100}, 64, m)
+	if d1c != d64c {
+		t.Errorf("exchange varies with cores: %v vs %v", d1c, d64c)
+	}
+}
+
+func TestCoCoCostSerialInSims(t *testing.T) {
+	r := NewRegistry()
+	m := &cluster.Stampede
+	d64, _ := r.Duration("ana.coco", Params{"sims": 64}, 1, m)
+	d1024, _ := r.Duration("ana.coco", Params{"sims": 1024}, 1, m)
+	ratio := float64(d1024-secs(cocoBaseSec+3*cocoSecPerDim)) / float64(d64-secs(cocoBaseSec+3*cocoSecPerDim))
+	if ratio < 15 || ratio > 17 { // 1024/64 = 16
+		t.Errorf("coco cost ratio = %v, want ~16", ratio)
+	}
+}
+
+func TestFileKernelsScaleWithSizeAndMachine(t *testing.T) {
+	r := NewRegistry()
+	slow := &cluster.Machine{Name: "slow", Nodes: 1, CoresPerNode: 1, FSBandwidthMBps: 10, FSLatency: time.Millisecond}
+	fast := &cluster.Machine{Name: "fast", Nodes: 1, CoresPerNode: 1, FSBandwidthMBps: 1000, FSLatency: time.Millisecond}
+	dSlow, _ := r.Duration("misc.mkfile", Params{"size_mb": 100}, 1, slow)
+	dFast, _ := r.Duration("misc.mkfile", Params{"size_mb": 100}, 1, fast)
+	if dSlow <= dFast {
+		t.Errorf("mkfile on slow fs (%v) not slower than fast fs (%v)", dSlow, dFast)
+	}
+	small, _ := r.Duration("misc.ccount", Params{"size_mb": 1}, 1, slow)
+	big, _ := r.Duration("misc.ccount", Params{"size_mb": 50}, 1, slow)
+	if big <= small {
+		t.Errorf("ccount(50MB)=%v not slower than ccount(1MB)=%v", big, small)
+	}
+}
+
+func TestSleepKernelExact(t *testing.T) {
+	r := NewRegistry()
+	d, err := r.Duration("misc.sleep", Params{"seconds": 7.5}, 1, &cluster.Local)
+	if err != nil || d != 7500*time.Millisecond {
+		t.Errorf("sleep = %v, %v", d, err)
+	}
+}
+
+func TestNegativeCostRejected(t *testing.T) {
+	r := NewEmptyRegistry()
+	r.Register(&Spec{
+		Name:        "bad.cost",
+		Executables: map[string]string{"*": "x"},
+		Cost:        func(Params, int, *cluster.Machine) time.Duration { return -time.Second },
+	})
+	if _, err := r.Duration("bad.cost", nil, 1, &cluster.Local); err == nil {
+		t.Error("negative duration accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package md
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"entk/internal/linalg"
+)
+
+// CoCoResult is the output of one CoCo analysis pass.
+type CoCoResult struct {
+	// StartPoints are new simulation starting structures placed in the
+	// least-sampled corners of the explored space.
+	StartPoints [][]float64
+	// Values are the variances (eigenvalues) along the principal
+	// components used.
+	Values []float64
+	// Components are the principal axes (unit vectors).
+	Components [][]float64
+}
+
+// CoCo implements the "complementary coordinates" analysis of Laughton et
+// al. [1]: PCA over all sampled frames, then new start points pushed just
+// beyond the extremes of the sampling along each retained component —
+// enriching conformational coverage on the next SAL iteration.
+//
+// frames is the pooled (nframes x dim) sampling; nPCs is how many
+// principal components to retain; nPoints how many new start points to
+// return (cycling over PC extremes).
+func CoCo(frames *linalg.Matrix, nPCs, nPoints int) (*CoCoResult, error) {
+	if nPCs < 1 || nPCs > frames.Cols {
+		return nil, fmt.Errorf("md: coco wants %d PCs of a %d-dim space", nPCs, frames.Cols)
+	}
+	if nPoints < 1 {
+		return nil, errors.New("md: coco needs at least one output point")
+	}
+	if frames.Rows < 2 {
+		return nil, errors.New("md: coco needs at least two frames")
+	}
+	cov, means, err := linalg.Covariance(frames)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := linalg.SymEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CoCoResult{
+		Values:     eig.Values[:nPCs],
+		Components: eig.Vectors[:nPCs],
+	}
+
+	// Project every frame on the retained components; track extremes.
+	minProj := make([]float64, nPCs)
+	maxProj := make([]float64, nPCs)
+	for k := 0; k < nPCs; k++ {
+		minProj[k] = math.Inf(1)
+		maxProj[k] = math.Inf(-1)
+	}
+	centered := make([]float64, frames.Cols)
+	for i := 0; i < frames.Rows; i++ {
+		row := frames.Row(i)
+		for j := range centered {
+			centered[j] = row[j] - means[j]
+		}
+		for k := 0; k < nPCs; k++ {
+			p := linalg.Dot(centered, eig.Vectors[k])
+			if p < minProj[k] {
+				minProj[k] = p
+			}
+			if p > maxProj[k] {
+				maxProj[k] = p
+			}
+		}
+	}
+
+	// Place new start points a 10% margin beyond alternating extremes:
+	// point 2k sits past the max of PC (k mod nPCs), point 2k+1 past its
+	// min — the "fill the corners" heuristic of CoCo.
+	for n := 0; n < nPoints; n++ {
+		k := (n / 2) % nPCs
+		span := maxProj[k] - minProj[k]
+		margin := 0.1 * span
+		var target float64
+		if n%2 == 0 {
+			target = maxProj[k] + margin
+		} else {
+			target = minProj[k] - margin
+		}
+		pt := make([]float64, frames.Cols)
+		copy(pt, means)
+		linalg.AXPY(target, eig.Vectors[k], pt)
+		res.StartPoints = append(res.StartPoints, pt)
+	}
+	return res, nil
+}

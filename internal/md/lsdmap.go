@@ -1,0 +1,104 @@
+package md
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"entk/internal/linalg"
+)
+
+// LSDMapResult is the output of a diffusion-map analysis.
+type LSDMapResult struct {
+	// Eigenvalues of the diffusion operator, descending; the first is 1
+	// (the stationary distribution).
+	Eigenvalues []float64
+	// Coords is the (npoints x k) matrix of diffusion coordinates: column
+	// j is the (j+2)-th eigenvector scaled by its eigenvalue, the usual
+	// embedding (the trivial first eigenvector is dropped).
+	Coords *linalg.Matrix
+}
+
+// LSDMap computes a locally-scaled-style diffusion map of the sampled
+// points (Preto & Clementi [2]): a Gaussian kernel with bandwidth epsilon,
+// symmetric normalisation S = D^-1/2 W D^-1/2, eigendecomposition, and
+// back-transformation to the eigenvectors of the Markov operator
+// P = D^-1 W. k is the number of non-trivial diffusion coordinates
+// returned.
+func LSDMap(points *linalg.Matrix, epsilon float64, k int) (*LSDMapResult, error) {
+	n := points.Rows
+	if n < 3 {
+		return nil, errors.New("md: lsdmap needs at least three points")
+	}
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("md: non-positive lsdmap bandwidth %g", epsilon)
+	}
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("md: lsdmap wants %d coordinates of %d points", k, n)
+	}
+
+	// Gaussian kernel matrix.
+	w := linalg.NewMatrix(n, n)
+	inv := 1 / (2 * epsilon * epsilon)
+	for i := 0; i < n; i++ {
+		w.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			v := math.Exp(-linalg.SqDist(points.Row(i), points.Row(j)) * inv)
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+		}
+	}
+
+	// Degrees and symmetric normalisation.
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += w.At(i, j)
+		}
+		if s <= 0 {
+			return nil, errors.New("md: isolated point in lsdmap kernel")
+		}
+		d[i] = s
+	}
+	sym := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sym.Set(i, j, w.At(i, j)/math.Sqrt(d[i]*d[j]))
+		}
+	}
+
+	eig, err := linalg.SymEigen(sym)
+	if err != nil {
+		return nil, err
+	}
+
+	// Eigenvectors of P = D^-1 W are psi = D^-1/2 v; drop the trivial
+	// first pair (lambda ~ 1, psi ~ constant).
+	res := &LSDMapResult{
+		Eigenvalues: eig.Values[:k+1],
+		Coords:      linalg.NewMatrix(n, k),
+	}
+	for j := 0; j < k; j++ {
+		lambda := eig.Values[j+1]
+		vec := eig.Vectors[j+1]
+		for i := 0; i < n; i++ {
+			res.Coords.Set(i, j, lambda*vec[i]/math.Sqrt(d[i]))
+		}
+	}
+	return res, nil
+}
+
+// Subsample returns every stride-th row of m (at least one), the standard
+// preprocessing before the O(n^2) diffusion-map kernel.
+func Subsample(m *linalg.Matrix, stride int) (*linalg.Matrix, error) {
+	if stride < 1 {
+		return nil, fmt.Errorf("md: non-positive subsample stride %d", stride)
+	}
+	rows := (m.Rows + stride - 1) / stride
+	out := linalg.NewMatrix(rows, m.Cols)
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), m.Row(i*stride))
+	}
+	return out, nil
+}

@@ -1,0 +1,344 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+
+	"entk/internal/vclock"
+)
+
+// agent is the pilot's on-resource component: it owns the allocation's
+// cores and schedules compute units onto them at the application level.
+// Units wait in a pending list; every submission or completion triggers a
+// continuous-scheduling pass that places whichever pending units fit
+// (FIFO order, but later units may start if earlier ones do not fit —
+// like RADICAL-Pilot's agent scheduler).
+type agent struct {
+	pilot *ComputePilot
+	sess  *Session
+
+	// launch bounds concurrent task launches; each launch also pays the
+	// machine's per-task launch latency. This is the runtime-side,
+	// per-task overhead component.
+	launch *vclock.Semaphore
+
+	mu      sync.Mutex
+	nodes   []int // free cores per node of the allocation
+	pending []*ComputeUnit
+	started bool
+	stopped bool
+	stopErr error
+	running int
+}
+
+// allocation records the cores a unit holds: cores[i] taken from node i.
+type allocation map[int]int
+
+func newAgent(p *ComputePilot) *agent {
+	m := p.backend.machine
+	cores := p.Desc.Cores
+	nNodes := m.NodesFor(cores)
+	nodes := make([]int, nNodes)
+	rem := cores
+	for i := range nodes {
+		take := m.CoresPerNode
+		if take > rem {
+			take = rem
+		}
+		nodes[i] = take
+		rem -= take
+	}
+	width := p.sess.Cfg.LauncherWidth
+	if width <= 0 {
+		width = nNodes
+	}
+	return &agent{
+		pilot:  p,
+		sess:   p.sess,
+		launch: vclock.NewSemaphore(p.sess.V, fmt.Sprintf("launcher pilot %d", p.ID), width),
+		nodes:  nodes,
+	}
+}
+
+// start begins scheduling queued units; called when the pilot activates.
+func (a *agent) start() {
+	a.mu.Lock()
+	a.started = true
+	a.mu.Unlock()
+	a.schedule()
+}
+
+// stop fails all queued units and refuses future work.
+func (a *agent) stop(cause error) {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.stopped = true
+	a.stopErr = cause
+	doomed := a.pending
+	a.pending = nil
+	a.mu.Unlock()
+	for _, u := range doomed {
+		u.finish(UnitFailed, cause)
+	}
+}
+
+// submit enqueues a unit. The unit must already be bound to this agent's
+// pilot.
+func (a *agent) submit(u *ComputeUnit) {
+	a.mu.Lock()
+	if a.stopped {
+		cause := a.stopErr
+		a.mu.Unlock()
+		u.finish(UnitFailed, cause)
+		return
+	}
+	a.pending = append(a.pending, u)
+	started := a.started
+	a.mu.Unlock()
+	u.setState(UnitQueued)
+	if started {
+		a.schedule()
+	}
+}
+
+// cancelQueued removes a unit from the pending list if still there.
+func (a *agent) cancelQueued(u *ComputeUnit) {
+	a.mu.Lock()
+	for i, q := range a.pending {
+		if q == u {
+			a.pending = append(a.pending[:i], a.pending[i+1:]...)
+			a.mu.Unlock()
+			u.finish(UnitCanceled, nil)
+			return
+		}
+	}
+	a.mu.Unlock()
+	// Not pending: either executing (runs to completion, finish() maps
+	// Done to Canceled via the unit's canceled flag) or already final.
+}
+
+// load approximates the agent's backlog for least-loaded scheduling.
+func (a *agent) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending) + a.running
+}
+
+// schedule performs one continuous-scheduling pass: place every pending
+// unit that fits, in FIFO order.
+func (a *agent) schedule() {
+	type launchReq struct {
+		u     *ComputeUnit
+		alloc allocation
+	}
+	var launches []launchReq
+
+	a.mu.Lock()
+	if !a.started || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	var remaining []*ComputeUnit
+	for _, u := range a.pending {
+		alloc, ok, fatal := a.place(u)
+		if fatal != nil {
+			// Cannot ever run on this pilot (too big): fail, do not wedge
+			// the queue.
+			a.mu.Unlock()
+			u.finish(UnitFailed, fatal)
+			a.mu.Lock()
+			continue
+		}
+		if !ok {
+			remaining = append(remaining, u)
+			continue
+		}
+		a.running++
+		launches = append(launches, launchReq{u, alloc})
+	}
+	a.pending = remaining
+	a.mu.Unlock()
+
+	for _, lr := range launches {
+		lr := lr
+		a.sess.V.Go(func() { a.execute(lr.u, lr.alloc) })
+	}
+}
+
+// place tries to allocate cores for u. Caller holds mu. The third return
+// is non-nil if the unit can never fit on this allocation.
+func (a *agent) place(u *ComputeUnit) (allocation, bool, error) {
+	need := u.Desc.Cores
+	total := 0
+	for _, f := range a.nodes {
+		total += f
+	}
+	capTotal := a.pilot.Desc.Cores
+	if need > capTotal {
+		return nil, false, fmt.Errorf("pilot: unit %q needs %d cores, pilot %d holds %d",
+			u.Desc.Name, need, a.pilot.ID, capTotal)
+	}
+	m := a.pilot.backend.machine
+	if !u.Desc.MPI && need > m.CoresPerNode {
+		return nil, false, fmt.Errorf("pilot: non-MPI unit %q needs %d cores, node has %d",
+			u.Desc.Name, need, m.CoresPerNode)
+	}
+
+	if !u.Desc.MPI || need <= m.CoresPerNode {
+		// Single-node placement: first-fit or best-fit.
+		best := -1
+		for i, free := range a.nodes {
+			if free < need {
+				continue
+			}
+			if a.sess.Cfg.Agent == FirstFit {
+				best = i
+				break
+			}
+			if best == -1 || free < a.nodes[best] {
+				best = i
+			}
+		}
+		if best >= 0 {
+			a.nodes[best] -= need
+			return allocation{best: need}, true, nil
+		}
+		// An MPI unit that would fit on one node but none is free enough
+		// may still span nodes below.
+		if !u.Desc.MPI {
+			return nil, false, nil
+		}
+	}
+
+	// MPI spanning placement: greedy across nodes.
+	if total < need {
+		return nil, false, nil
+	}
+	alloc := make(allocation)
+	rem := need
+	for i, free := range a.nodes {
+		if free == 0 {
+			continue
+		}
+		take := free
+		if take > rem {
+			take = rem
+		}
+		alloc[i] = take
+		rem -= take
+		if rem == 0 {
+			break
+		}
+	}
+	if rem > 0 {
+		return nil, false, nil // cannot happen given total >= need
+	}
+	for i, n := range alloc {
+		a.nodes[i] -= n
+	}
+	return alloc, true, nil
+}
+
+// release returns an allocation's cores and reschedules.
+func (a *agent) release(alloc allocation) {
+	a.mu.Lock()
+	for i, n := range alloc {
+		a.nodes[i] += n
+	}
+	a.running--
+	a.mu.Unlock()
+	a.schedule()
+}
+
+// execute runs one unit's full lifecycle on its allocation: launch,
+// staging-in, execution (virtual sleep of the cost-model duration plus the
+// optional real Work), staging-out.
+func (a *agent) execute(u *ComputeUnit, alloc allocation) {
+	defer a.release(alloc)
+	v := a.sess.V
+	m := a.pilot.backend.machine
+	prof := a.sess.Prof
+
+	// Launch: bounded concurrency, per-task latency.
+	a.launch.Acquire(1)
+	v.Sleep(m.TaskLaunchLatency)
+	a.launch.Release(1)
+	if a.isStopped() {
+		u.finish(UnitFailed, a.stopErr)
+		return
+	}
+
+	// Input staging.
+	if len(u.Desc.InputStaging) > 0 {
+		u.setState(UnitStagingInput)
+		prof.Record(u.Entity(), "stagein_start")
+		if _, err := a.pilot.backend.mover.Run(u.Desc.InputStaging); err != nil {
+			u.finish(UnitFailed, fmt.Errorf("input staging: %w", err))
+			return
+		}
+		prof.Record(u.Entity(), "stagein_stop")
+	}
+
+	// Execution.
+	dur, err := a.sess.Cost.Duration(u.Desc.Kernel, u.Desc.Params, u.Desc.Cores, m)
+	if err != nil {
+		u.finish(UnitFailed, err)
+		return
+	}
+	u.setState(UnitExecuting)
+	start := v.Now()
+	prof.Record(u.Entity(), "exec_start")
+	v.Sleep(dur)
+	stop := v.Now()
+	prof.Record(u.Entity(), "exec_stop")
+	u.markExec(start, stop)
+
+	if u.Desc.FailOn != nil && u.Desc.FailOn(u.Desc.Attempt) {
+		u.finish(UnitFailed, fmt.Errorf("unit %q failed (injected, attempt %d)",
+			u.Desc.Name, u.Desc.Attempt))
+		return
+	}
+	if a.isStopped() {
+		u.finish(UnitFailed, a.stopErr)
+		return
+	}
+	if u.Desc.Work != nil {
+		if err := u.Desc.Work(); err != nil {
+			u.finish(UnitFailed, fmt.Errorf("unit %q work: %w", u.Desc.Name, err))
+			return
+		}
+	}
+
+	// Output staging.
+	if len(u.Desc.OutputStaging) > 0 {
+		u.setState(UnitStagingOutput)
+		prof.Record(u.Entity(), "stageout_start")
+		if _, err := a.pilot.backend.mover.Run(u.Desc.OutputStaging); err != nil {
+			u.finish(UnitFailed, fmt.Errorf("output staging: %w", err))
+			return
+		}
+		prof.Record(u.Entity(), "stageout_stop")
+	}
+
+	u.finish(UnitDone, nil)
+}
+
+func (a *agent) isStopped() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stopped
+}
+
+// freeCores reports currently free cores (tests/diagnostics).
+func (a *agent) freeCores() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	for _, f := range a.nodes {
+		total += f
+	}
+	return total
+}

@@ -1,0 +1,132 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// UnitManager accepts unit descriptions, binds each to a pilot per the
+// configured scheduling policy, and forwards it to that pilot's agent
+// (mirroring rp.UnitManager).
+type UnitManager struct {
+	sess *Session
+
+	mu     sync.Mutex
+	pilots []*ComputePilot
+	rr     int // round-robin cursor
+}
+
+// NewUnitManager returns a unit manager bound to the session.
+func NewUnitManager(s *Session) *UnitManager {
+	return &UnitManager{sess: s}
+}
+
+// AddPilot makes a pilot available for unit scheduling.
+func (um *UnitManager) AddPilot(p *ComputePilot) {
+	um.mu.Lock()
+	um.pilots = append(um.pilots, p)
+	um.mu.Unlock()
+}
+
+// RemovePilot withdraws a pilot from scheduling (already-bound units are
+// unaffected).
+func (um *UnitManager) RemovePilot(p *ComputePilot) {
+	um.mu.Lock()
+	for i, q := range um.pilots {
+		if q == p {
+			um.pilots = append(um.pilots[:i], um.pilots[i+1:]...)
+			break
+		}
+	}
+	um.mu.Unlock()
+}
+
+// pick selects a pilot for the next unit per the scheduler policy.
+func (um *UnitManager) pick() (*ComputePilot, error) {
+	um.mu.Lock()
+	defer um.mu.Unlock()
+	if len(um.pilots) == 0 {
+		return nil, fmt.Errorf("pilot: unit manager has no pilots")
+	}
+	switch um.sess.Cfg.Scheduler {
+	case LeastLoaded:
+		best := um.pilots[0]
+		for _, p := range um.pilots[1:] {
+			if p.agent.load() < best.agent.load() {
+				best = p
+			}
+		}
+		return best, nil
+	default: // RoundRobin
+		p := um.pilots[um.rr%len(um.pilots)]
+		um.rr++
+		return p, nil
+	}
+}
+
+// Submit validates and submits unit descriptions in bulk: the client
+// first creates every unit (paying the per-unit submission cost, which is
+// what makes toolkit overhead grow with task count), then dispatches the
+// whole batch to the pilots' agents — like EnTK building a stage's CU
+// descriptions and calling submit_units once. It must be called from a
+// registered vclock process.
+func (um *UnitManager) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
+	for i := range descs {
+		if err := descs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	units := make([]*ComputeUnit, 0, len(descs))
+	for _, d := range descs {
+		u := newUnit(um.sess, d)
+		um.sess.Prof.Record(u.Entity(), "new")
+		units = append(units, u)
+	}
+	// Client-side creation/serialization cost for the whole batch.
+	um.sess.V.Sleep(time.Duration(len(descs)) * um.sess.Cfg.UMSubmitPerUnit)
+	for _, u := range units {
+		u.setState(UnitScheduling)
+		p, err := um.pick()
+		if err != nil {
+			u.finish(UnitFailed, err)
+			continue
+		}
+		u.mu.Lock()
+		u.pilot = p
+		u.mu.Unlock()
+		um.sess.Prof.Record(u.Entity(), "umgr_bound")
+		p.agent.submit(u)
+	}
+	return units, nil
+}
+
+// SubmitOne is a convenience wrapper for a single description.
+func (um *UnitManager) SubmitOne(d UnitDescription) (*ComputeUnit, error) {
+	us, err := um.Submit([]UnitDescription{d})
+	if err != nil {
+		return nil, err
+	}
+	return us[0], nil
+}
+
+// WaitAll blocks until every unit is terminal and returns their final
+// states in order.
+func (um *UnitManager) WaitAll(units []*ComputeUnit) []UnitState {
+	out := make([]UnitState, len(units))
+	for i, u := range units {
+		out[i] = u.WaitFinal()
+	}
+	return out
+}
+
+// FailedUnits filters units whose final state is FAILED.
+func FailedUnits(units []*ComputeUnit) []*ComputeUnit {
+	var out []*ComputeUnit
+	for _, u := range units {
+		if u.State() == UnitFailed {
+			out = append(out, u)
+		}
+	}
+	return out
+}

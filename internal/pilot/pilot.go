@@ -1,0 +1,241 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"entk/internal/saga"
+	"entk/internal/vclock"
+)
+
+// PilotState is a compute pilot's lifecycle state.
+type PilotState int
+
+const (
+	// PilotPending: placeholder job submitted, waiting in the batch queue.
+	PilotPending PilotState = iota
+	// PilotActive: allocation granted, agent booted, accepting units.
+	PilotActive
+	// PilotDone: completed (deallocated by the application).
+	PilotDone
+	// PilotCanceled: cancelled by the application.
+	PilotCanceled
+	// PilotFailed: terminated abnormally (typically walltime).
+	PilotFailed
+)
+
+func (s PilotState) String() string {
+	switch s {
+	case PilotPending:
+		return "PENDING"
+	case PilotActive:
+		return "ACTIVE"
+	case PilotDone:
+		return "DONE"
+	case PilotCanceled:
+		return "CANCELED"
+	case PilotFailed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Final reports whether s is terminal.
+func (s PilotState) Final() bool {
+	return s == PilotDone || s == PilotCanceled || s == PilotFailed
+}
+
+// PilotDescription requests a placeholder allocation on one machine.
+type PilotDescription struct {
+	// Resource is the machine label, e.g. "xsede.comet".
+	Resource string
+	// Cores is the number of cores the pilot holds for unit scheduling.
+	Cores int
+	// Walltime bounds the allocation's lifetime.
+	Walltime time.Duration
+	// Queue and Project are passed through to the batch system.
+	Queue   string
+	Project string
+}
+
+// Validate rejects malformed descriptions.
+func (d *PilotDescription) Validate() error {
+	switch {
+	case d.Resource == "":
+		return fmt.Errorf("pilot: description has no resource")
+	case d.Cores <= 0:
+		return fmt.Errorf("pilot: description requests %d cores", d.Cores)
+	case d.Walltime <= 0:
+		return fmt.Errorf("pilot: description has non-positive walltime")
+	}
+	return nil
+}
+
+// ComputePilot is a submitted placeholder job plus its agent.
+type ComputePilot struct {
+	ID   int
+	Desc PilotDescription
+
+	sess    *Session
+	backend *backend
+	job     saga.Job
+	agent   *agent
+
+	mu       sync.Mutex
+	state    PilotState
+	activeEv *vclock.Event
+	finalEv  *vclock.Event
+}
+
+// Entity returns the pilot's profiler entity key.
+func (p *ComputePilot) Entity() string { return pilotEntity(p.ID) }
+
+// State returns the pilot's current state.
+func (p *ComputePilot) State() PilotState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// WaitActive blocks the calling process until the agent accepts units (or
+// the pilot fails first; check State on return).
+func (p *ComputePilot) WaitActive() { p.activeEv.Wait() }
+
+// WaitFinal blocks until the pilot is terminal and returns that state.
+func (p *ComputePilot) WaitFinal() PilotState {
+	p.finalEv.Wait()
+	return p.State()
+}
+
+// Cancel tears the pilot down: the placeholder job is cancelled and every
+// queued unit fails. This is how ResourceHandle.Deallocate releases
+// resources.
+func (p *ComputePilot) Cancel() { p.job.Cancel() }
+
+// QueueWait reports the batch queue wait as seen through the profiler;
+// zero until the pilot activates.
+func (p *ComputePilot) QueueWait() time.Duration {
+	a, ok1 := p.sess.Prof.First(p.Entity(), "submit")
+	b, ok2 := p.sess.Prof.First(p.Entity(), "job_running")
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return b - a
+}
+
+// setState transitions the pilot unless already terminal.
+func (p *ComputePilot) setState(st PilotState) {
+	p.mu.Lock()
+	if p.state.Final() {
+		p.mu.Unlock()
+		return
+	}
+	p.state = st
+	p.mu.Unlock()
+	p.sess.Prof.Record(p.Entity(), "state_"+st.String())
+}
+
+// PilotManager submits and tracks pilots (mirroring rp.PilotManager).
+type PilotManager struct {
+	sess *Session
+
+	mu     sync.Mutex
+	pilots []*ComputePilot
+}
+
+// NewPilotManager returns a pilot manager bound to the session.
+func NewPilotManager(s *Session) *PilotManager {
+	return &PilotManager{sess: s}
+}
+
+// Pilots returns the submitted pilots in submission order.
+func (pm *PilotManager) Pilots() []*ComputePilot {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return append([]*ComputePilot(nil), pm.pilots...)
+}
+
+// Submit validates desc, submits the placeholder job through SAGA, and
+// arranges for the agent to boot when the allocation starts. It must be
+// called from a registered vclock process.
+func (pm *PilotManager) Submit(desc PilotDescription) (*ComputePilot, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	be, err := pm.sess.backendFor(desc.Resource)
+	if err != nil {
+		return nil, err
+	}
+	if desc.Cores > be.machine.TotalCores() {
+		return nil, fmt.Errorf("pilot: %d cores exceed %s capacity (%d)",
+			desc.Cores, be.machine.Name, be.machine.TotalCores())
+	}
+
+	p := &ComputePilot{
+		ID:      pm.sess.pilotID(),
+		Desc:    desc,
+		sess:    pm.sess,
+		backend: be,
+		state:   PilotPending,
+	}
+	p.activeEv = vclock.NewEvent(pm.sess.V, fmt.Sprintf("pilot %d active", p.ID))
+	p.finalEv = vclock.NewEvent(pm.sess.V, fmt.Sprintf("pilot %d final", p.ID))
+	p.agent = newAgent(p)
+
+	pm.sess.Prof.Record(p.Entity(), "submit")
+	job, err := be.service.Submit(saga.JobDescription{
+		Executable:    "radical-pilot-agent",
+		Arguments:     []string{fmt.Sprintf("--pilot=%d", p.ID)},
+		TotalCPUCount: desc.Cores,
+		WallTimeLimit: desc.Walltime,
+		Queue:         desc.Queue,
+		Project:       desc.Project,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.job = job
+
+	pm.mu.Lock()
+	pm.pilots = append(pm.pilots, p)
+	pm.mu.Unlock()
+
+	// Activation watcher: batch job starts -> agent bootstraps -> ACTIVE.
+	pm.sess.V.Go(func() {
+		job.WaitRunning()
+		if job.State() != saga.Running {
+			return // cancelled while queued; final watcher handles it
+		}
+		pm.sess.Prof.Record(p.Entity(), "job_running")
+		pm.sess.V.Sleep(be.machine.AgentBootTime)
+		if job.State() != saga.Running {
+			return
+		}
+		p.setState(PilotActive)
+		pm.sess.Prof.Record(p.Entity(), "active")
+		p.agent.start()
+		p.activeEv.Fire()
+	})
+
+	// Teardown watcher: job reaches a final state -> agent stops, queued
+	// units fail, waiters release.
+	pm.sess.V.Go(func() {
+		st := job.WaitFinal()
+		switch st {
+		case saga.Done:
+			p.setState(PilotDone)
+		case saga.Canceled:
+			p.setState(PilotCanceled)
+		default:
+			p.setState(PilotFailed)
+		}
+		pm.sess.Prof.Record(p.Entity(), "final")
+		p.agent.stop(fmt.Errorf("pilot %d terminated (%v)", p.ID, p.State()))
+		p.activeEv.Fire() // release WaitActive callers on early death
+		p.finalEv.Fire()
+	})
+
+	return p, nil
+}

@@ -1,0 +1,173 @@
+// Package pilot implements the pilot-job runtime system the toolkit
+// delegates execution to, modelled on RADICAL-Pilot (Section III-C2). A
+// ComputePilot is a placeholder job submitted through the SAGA layer to a
+// machine's batch system; once its agent boots inside the allocation, any
+// number of ComputeUnits are scheduled onto the pilot's cores at the
+// application level — including multi-core (MPI) units — decoupling the
+// workload size from the instantaneous resource availability.
+package pilot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"entk/internal/batch"
+	"entk/internal/cluster"
+	"entk/internal/profile"
+	"entk/internal/saga"
+	"entk/internal/stage"
+	"entk/internal/vclock"
+)
+
+// CostModel predicts a kernel invocation's runtime; the kernels registry
+// implements it. The pilot layer depends only on this interface so it
+// stays ignorant of kernel semantics.
+type CostModel interface {
+	Duration(kernel string, params map[string]float64, cores int, m *cluster.Machine) (time.Duration, error)
+}
+
+// Placement selects the agent scheduler's node-packing strategy.
+type Placement int
+
+const (
+	// FirstFit places a unit on the first node with enough free cores.
+	FirstFit Placement = iota
+	// BestFit places a unit on the feasible node with the fewest free
+	// cores, reducing fragmentation for mixed-size workloads.
+	BestFit
+)
+
+func (p Placement) String() string {
+	if p == BestFit {
+		return "best-fit"
+	}
+	return "first-fit"
+}
+
+// SchedulerPolicy selects how the unit manager spreads units over pilots.
+type SchedulerPolicy int
+
+const (
+	// RoundRobin deals units to pilots in turn.
+	RoundRobin SchedulerPolicy = iota
+	// LeastLoaded sends each unit to the pilot with the fewest queued
+	// units (weighted by cores).
+	LeastLoaded
+)
+
+func (s SchedulerPolicy) String() string {
+	if s == LeastLoaded {
+		return "least-loaded"
+	}
+	return "round-robin"
+}
+
+// Config tunes the runtime's overhead model and scheduling strategies.
+type Config struct {
+	// UMSubmitPerUnit is the client-side cost of creating and submitting
+	// one unit (serialization, DB round trip). It is the component of the
+	// toolkit overhead that grows with the number of tasks.
+	UMSubmitPerUnit time.Duration
+	// Scheduler picks the unit-to-pilot policy.
+	Scheduler SchedulerPolicy
+	// Agent picks the node-packing strategy inside each pilot.
+	Agent Placement
+	// LauncherWidth bounds concurrent task launches inside one pilot;
+	// zero means one launcher slot per allocated node.
+	LauncherWidth int
+	// BatchPolicy is the queue discipline of the simulated batch systems.
+	BatchPolicy batch.Policy
+}
+
+// DefaultConfig returns the configuration used for the paper
+// reproductions.
+func DefaultConfig() Config {
+	return Config{
+		UMSubmitPerUnit: 10 * time.Millisecond,
+		Scheduler:       RoundRobin,
+		Agent:           FirstFit,
+		LauncherWidth:   0,
+		BatchPolicy:     batch.FIFO,
+	}
+}
+
+// Session is the root object of the runtime (mirroring rp.Session): it
+// owns the virtual clock, the profiler, the cost model, and one simulated
+// batch system per machine.
+type Session struct {
+	V    *vclock.Virtual
+	Prof *profile.Profiler
+	Cost CostModel
+	Cfg  Config
+
+	mu       sync.Mutex
+	backends map[string]*backend
+	nextPID  int
+	nextUID  int
+}
+
+// backend bundles the per-machine simulation objects.
+type backend struct {
+	machine *cluster.Machine
+	system  *batch.System
+	service saga.Service
+	mover   *stage.Mover
+}
+
+// NewSession creates a session with the given cost model and config.
+func NewSession(v *vclock.Virtual, cost CostModel, cfg Config) *Session {
+	return &Session{
+		V:        v,
+		Prof:     profile.New(v),
+		Cost:     cost,
+		Cfg:      cfg,
+		backends: make(map[string]*backend),
+	}
+}
+
+// backendFor returns (creating on first use) the simulation backend for a
+// resource label.
+func (s *Session) backendFor(resource string) (*backend, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.backends[resource]; ok {
+		return b, nil
+	}
+	m, err := cluster.Lookup(resource)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := batch.NewSystem(s.V, m, s.Cfg.BatchPolicy)
+	if err != nil {
+		return nil, err
+	}
+	b := &backend{
+		machine: m,
+		system:  sys,
+		service: saga.NewBatchService(s.V, sys),
+		mover:   stage.NewMover(s.V, m),
+	}
+	s.backends[resource] = b
+	return b, nil
+}
+
+// pilotID allocates a pilot identifier.
+func (s *Session) pilotID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextPID++
+	return s.nextPID
+}
+
+// unitID allocates a unit identifier.
+func (s *Session) unitID() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextUID++
+	return s.nextUID
+}
+
+// entity name helpers keep profiler keys consistent across layers.
+func pilotEntity(id int) string { return fmt.Sprintf("pilot.%04d", id) }
+func unitEntity(id int) string  { return fmt.Sprintf("unit.%06d", id) }

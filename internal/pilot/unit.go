@@ -1,0 +1,253 @@
+package pilot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"entk/internal/stage"
+	"entk/internal/vclock"
+)
+
+// Directive re-exports stage.Directive so that callers describing units
+// need not import the staging package separately.
+type Directive = stage.Directive
+
+// Staging operation aliases for unit descriptions.
+const (
+	OpUpload   = stage.Upload
+	OpCopy     = stage.Copy
+	OpLink     = stage.Link
+	OpDownload = stage.Download
+)
+
+// UnitState is a compute unit's lifecycle state, a condensed version of
+// RADICAL-Pilot's state model.
+type UnitState int
+
+const (
+	// UnitNew: described, not yet accepted by a unit manager.
+	UnitNew UnitState = iota
+	// UnitScheduling: accepted, being bound to a pilot.
+	UnitScheduling
+	// UnitQueued: in the pilot agent's queue, waiting for cores.
+	UnitQueued
+	// UnitStagingInput: input staging directives executing.
+	UnitStagingInput
+	// UnitExecuting: running on allocated cores.
+	UnitExecuting
+	// UnitStagingOutput: output staging directives executing.
+	UnitStagingOutput
+	// UnitDone: finished successfully.
+	UnitDone
+	// UnitFailed: finished with an error.
+	UnitFailed
+	// UnitCanceled: cancelled before completion.
+	UnitCanceled
+)
+
+func (s UnitState) String() string {
+	switch s {
+	case UnitNew:
+		return "NEW"
+	case UnitScheduling:
+		return "SCHEDULING"
+	case UnitQueued:
+		return "QUEUED"
+	case UnitStagingInput:
+		return "STAGING_INPUT"
+	case UnitExecuting:
+		return "EXECUTING"
+	case UnitStagingOutput:
+		return "STAGING_OUTPUT"
+	case UnitDone:
+		return "DONE"
+	case UnitFailed:
+		return "FAILED"
+	case UnitCanceled:
+		return "CANCELED"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Final reports whether s is terminal.
+func (s UnitState) Final() bool {
+	return s == UnitDone || s == UnitFailed || s == UnitCanceled
+}
+
+// UnitDescription describes one task, the pilot-level analogue of a kernel
+// plugin instantiation.
+type UnitDescription struct {
+	// Name labels the unit in profiles and errors, e.g. "sim.0007".
+	Name string
+	// Kernel is the kernel-plugin name driving the cost model.
+	Kernel string
+	// Params parameterises the kernel's cost model.
+	Params map[string]float64
+	// Cores is the core count; >1 requires MPI.
+	Cores int
+	// MPI marks the unit as an MPI task, allowed to span nodes.
+	MPI bool
+	// InputStaging runs before execution.
+	InputStaging []stage.Directive
+	// OutputStaging runs after execution.
+	OutputStaging []stage.Directive
+	// Work, if non-nil, is real computation executed (in zero virtual
+	// time) when the unit completes — the hook by which analysis kernels
+	// produce actual numbers while the clock models their cost.
+	Work func() error
+	// Attempt counts resubmissions of logically the same task; the
+	// toolkit's retry layer increments it.
+	Attempt int
+	// FailOn, if non-nil, reports whether this attempt should fail — the
+	// deterministic fault-injection hook used by tests and the fault
+	// tolerance examples.
+	FailOn func(attempt int) bool
+}
+
+// Validate rejects malformed descriptions.
+func (d *UnitDescription) Validate() error {
+	switch {
+	case d.Kernel == "":
+		return fmt.Errorf("pilot: unit %q has no kernel", d.Name)
+	case d.Cores <= 0:
+		return fmt.Errorf("pilot: unit %q requests %d cores", d.Name, d.Cores)
+	case d.Cores > 1 && !d.MPI:
+		return fmt.Errorf("pilot: unit %q wants %d cores but is not MPI", d.Name, d.Cores)
+	}
+	return nil
+}
+
+// ComputeUnit is a scheduled task instance.
+type ComputeUnit struct {
+	ID   int
+	Desc UnitDescription
+
+	sess *Session
+
+	mu       sync.Mutex
+	state    UnitState
+	err      error
+	pilot    *ComputePilot
+	started  time.Duration // exec start (virtual)
+	stopped  time.Duration // exec stop (virtual)
+	finalEv  *vclock.Event
+	canceled bool // cancellation requested
+}
+
+func newUnit(s *Session, desc UnitDescription) *ComputeUnit {
+	id := s.unitID()
+	return &ComputeUnit{
+		ID:      id,
+		Desc:    desc,
+		sess:    s,
+		state:   UnitNew,
+		finalEv: vclock.NewEvent(s.V, fmt.Sprintf("unit %d final", id)),
+	}
+}
+
+// Entity returns the unit's profiler entity key.
+func (u *ComputeUnit) Entity() string { return unitEntity(u.ID) }
+
+// State returns the current state.
+func (u *ComputeUnit) State() UnitState {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.state
+}
+
+// Err returns the failure cause for a FAILED unit.
+func (u *ComputeUnit) Err() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.err
+}
+
+// Pilot returns the pilot the unit was bound to, if any.
+func (u *ComputeUnit) Pilot() *ComputePilot {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.pilot
+}
+
+// ExecWindow returns the unit's execution start and stop times on the
+// virtual clock; ok is false if the unit never executed.
+func (u *ComputeUnit) ExecWindow() (start, stop time.Duration, ok bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.stopped == 0 && u.started == 0 {
+		return 0, 0, false
+	}
+	return u.started, u.stopped, true
+}
+
+// ExecDuration returns how long the unit executed; valid once final.
+func (u *ComputeUnit) ExecDuration() time.Duration {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.stopped < u.started {
+		return 0
+	}
+	return u.stopped - u.started
+}
+
+// WaitFinal blocks the calling process until the unit is terminal and
+// returns the final state.
+func (u *ComputeUnit) WaitFinal() UnitState {
+	u.finalEv.Wait()
+	return u.State()
+}
+
+// Cancel requests cancellation. Queued units are cancelled immediately; a
+// unit already executing runs to completion but finishes CANCELED.
+func (u *ComputeUnit) Cancel() {
+	u.mu.Lock()
+	u.canceled = true
+	st := u.state
+	u.mu.Unlock()
+	if st == UnitNew || st == UnitScheduling || st == UnitQueued {
+		if p := u.Pilot(); p != nil {
+			p.agent.cancelQueued(u)
+			return
+		}
+		u.finish(UnitCanceled, nil)
+	}
+}
+
+// setState transitions the unit, recording the transition in the profiler.
+// Transitions out of a final state are ignored.
+func (u *ComputeUnit) setState(st UnitState) {
+	u.mu.Lock()
+	if u.state.Final() {
+		u.mu.Unlock()
+		return
+	}
+	u.state = st
+	u.mu.Unlock()
+	u.sess.Prof.Record(u.Entity(), "state_"+st.String())
+}
+
+// finish moves the unit to a terminal state and fires its final event.
+func (u *ComputeUnit) finish(st UnitState, err error) {
+	u.mu.Lock()
+	if u.state.Final() {
+		u.mu.Unlock()
+		return
+	}
+	if u.canceled && st == UnitDone {
+		st = UnitCanceled
+	}
+	u.state = st
+	u.err = err
+	u.mu.Unlock()
+	u.sess.Prof.Record(u.Entity(), "state_"+st.String())
+	u.finalEv.Fire()
+}
+
+// markExec records the execution window for ExecDuration.
+func (u *ComputeUnit) markExec(start, stop time.Duration) {
+	u.mu.Lock()
+	u.started, u.stopped = start, stop
+	u.mu.Unlock()
+}

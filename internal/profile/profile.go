@@ -1,0 +1,161 @@
+// Package profile records timestamped events on the virtual clock and
+// answers the duration queries behind the paper's TTC decomposition
+// (toolkit core overhead, pattern overhead, execution time, staging time).
+// Every layer — core, pilot, agent — writes into the same Profiler, which
+// is what makes the stacked-bar figures reconstructible.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"entk/internal/vclock"
+)
+
+// Event is one timestamped occurrence for an entity.
+type Event struct {
+	Entity string        // e.g. "unit.0042", "pattern", "resource"
+	Name   string        // e.g. "exec_start", "exec_stop"
+	T      time.Duration // virtual time
+}
+
+// Profiler accumulates events. It is safe for concurrent use.
+type Profiler struct {
+	clock vclock.Clock
+	mu    sync.Mutex
+	evs   []Event
+}
+
+// New returns an empty profiler reading timestamps from clock.
+func New(clock vclock.Clock) *Profiler {
+	return &Profiler{clock: clock}
+}
+
+// Record appends an event for entity at the current time.
+func (p *Profiler) Record(entity, name string) {
+	t := p.clock.Now()
+	p.mu.Lock()
+	p.evs = append(p.evs, Event{Entity: entity, Name: name, T: t})
+	p.mu.Unlock()
+}
+
+// Events returns a copy of all events in insertion order.
+func (p *Profiler) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.evs...)
+}
+
+// First returns the earliest timestamp of the named event for entities
+// matching the prefix; ok is false if none exists.
+func (p *Profiler) First(entityPrefix, name string) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best time.Duration
+	found := false
+	for _, e := range p.evs {
+		if e.Name == name && strings.HasPrefix(e.Entity, entityPrefix) {
+			if !found || e.T < best {
+				best = e.T
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Last returns the latest timestamp of the named event for entities
+// matching the prefix; ok is false if none exists.
+func (p *Profiler) Last(entityPrefix, name string) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best time.Duration
+	found := false
+	for _, e := range p.evs {
+		if e.Name == name && strings.HasPrefix(e.Entity, entityPrefix) {
+			if !found || e.T > best {
+				best = e.T
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// Span returns Last(prefix, stop) - First(prefix, start): the wall span
+// from the first start to the last stop across matching entities. It is
+// the figure-level "phase duration" (e.g. all simulations of an
+// iteration). ok is false if either endpoint is missing.
+func (p *Profiler) Span(entityPrefix, start, stop string) (time.Duration, bool) {
+	a, ok1 := p.First(entityPrefix, start)
+	b, ok2 := p.Last(entityPrefix, stop)
+	if !ok1 || !ok2 || b < a {
+		return 0, false
+	}
+	return b - a, true
+}
+
+// SumPairs sums, over every entity matching the prefix, the duration
+// between that entity's start and stop events (pairing first start with
+// first stop per entity). It measures aggregate busy time rather than wall
+// span.
+func (p *Profiler) SumPairs(entityPrefix, start, stop string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	starts := make(map[string]time.Duration)
+	stops := make(map[string]time.Duration)
+	for _, e := range p.evs {
+		if !strings.HasPrefix(e.Entity, entityPrefix) {
+			continue
+		}
+		switch e.Name {
+		case start:
+			if _, seen := starts[e.Entity]; !seen {
+				starts[e.Entity] = e.T
+			}
+		case stop:
+			if _, seen := stops[e.Entity]; !seen {
+				stops[e.Entity] = e.T
+			}
+		}
+	}
+	var total time.Duration
+	for ent, s := range starts {
+		if e, ok := stops[ent]; ok && e >= s {
+			total += e - s
+		}
+	}
+	return total
+}
+
+// Entities returns the sorted distinct entities matching the prefix.
+func (p *Profiler) Entities(prefix string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := make(map[string]bool)
+	for _, e := range p.evs {
+		if strings.HasPrefix(e.Entity, prefix) {
+			set[e.Entity] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for e := range set {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Timeline renders events sorted by time, for debugging.
+func (p *Profiler) Timeline() string {
+	evs := p.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%12v  %-24s %s\n", e.T, e.Entity, e.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"entk/internal/vclock"
+)
+
+func TestRecordAndQueries(t *testing.T) {
+	v := vclock.NewVirtual()
+	p := New(v)
+	v.Run(func() {
+		p.Record("unit.0", "exec_start")
+		v.Sleep(10 * time.Second)
+		p.Record("unit.0", "exec_stop")
+		p.Record("unit.1", "exec_start")
+		v.Sleep(5 * time.Second)
+		p.Record("unit.1", "exec_stop")
+	})
+
+	if n := len(p.Events()); n != 4 {
+		t.Fatalf("%d events, want 4", n)
+	}
+	first, ok := p.First("unit.", "exec_start")
+	if !ok || first != 0 {
+		t.Errorf("First = %v,%v", first, ok)
+	}
+	last, ok := p.Last("unit.", "exec_stop")
+	if !ok || last != 15*time.Second {
+		t.Errorf("Last = %v,%v", last, ok)
+	}
+	span, ok := p.Span("unit.", "exec_start", "exec_stop")
+	if !ok || span != 15*time.Second {
+		t.Errorf("Span = %v,%v", span, ok)
+	}
+	if sum := p.SumPairs("unit.", "exec_start", "exec_stop"); sum != 15*time.Second {
+		t.Errorf("SumPairs = %v, want 15s", sum)
+	}
+	if _, ok := p.First("unit.", "missing"); ok {
+		t.Error("First found missing event")
+	}
+	if _, ok := p.Last("nope.", "exec_stop"); ok {
+		t.Error("Last matched wrong prefix")
+	}
+	if _, ok := p.Span("unit.", "missing", "exec_stop"); ok {
+		t.Error("Span with missing start succeeded")
+	}
+}
+
+func TestSumPairsIgnoresUnpaired(t *testing.T) {
+	v := vclock.NewVirtual()
+	p := New(v)
+	v.Run(func() {
+		p.Record("u.0", "start")
+		v.Sleep(time.Second)
+		p.Record("u.0", "stop")
+		p.Record("u.1", "start") // never stops
+		v.Sleep(time.Second)
+		p.Record("u.2", "stop") // never started
+	})
+	if sum := p.SumPairs("u.", "start", "stop"); sum != time.Second {
+		t.Errorf("SumPairs = %v, want 1s", sum)
+	}
+}
+
+func TestSumPairsUsesFirstOccurrence(t *testing.T) {
+	v := vclock.NewVirtual()
+	p := New(v)
+	v.Run(func() {
+		p.Record("u.0", "start")
+		v.Sleep(time.Second)
+		p.Record("u.0", "stop")
+		v.Sleep(time.Second)
+		p.Record("u.0", "start") // retry: ignored by pairing
+		v.Sleep(time.Second)
+		p.Record("u.0", "stop")
+	})
+	if sum := p.SumPairs("u.", "start", "stop"); sum != time.Second {
+		t.Errorf("SumPairs = %v, want 1s (first pair only)", sum)
+	}
+}
+
+func TestEntitiesSortedDistinct(t *testing.T) {
+	v := vclock.NewVirtual()
+	p := New(v)
+	v.Run(func() {
+		p.Record("unit.2", "x")
+		p.Record("unit.1", "x")
+		p.Record("unit.1", "y")
+		p.Record("pilot.0", "x")
+	})
+	got := p.Entities("unit.")
+	if len(got) != 2 || got[0] != "unit.1" || got[1] != "unit.2" {
+		t.Fatalf("Entities = %v", got)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	v := vclock.NewVirtual()
+	p := New(v)
+	v.Run(func() {
+		p.Record("b", "later")
+		p.Record("a", "first")
+	})
+	tl := p.Timeline()
+	if !strings.Contains(tl, "first") || !strings.Contains(tl, "later") {
+		t.Fatalf("timeline missing events:\n%s", tl)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	v := vclock.NewVirtual()
+	p := New(v)
+	const n = 50
+	v.Run(func() {
+		wg := vclock.NewWaitGroup(v, "rec")
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				p.Record("unit.x", "tick")
+			})
+		}
+		wg.Wait()
+	})
+	if got := len(p.Events()); got != n {
+		t.Fatalf("%d events recorded, want %d", got, n)
+	}
+}

@@ -1,0 +1,150 @@
+package repex
+
+import (
+	"testing"
+	"time"
+
+	"entk/internal/vclock"
+)
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	good := Config{Replicas: 4, Cycles: 2, Resource: "lsu.supermic"}
+	full, err := good.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cores != 4 || full.PsPerCycle != 6 || full.TMin != 300 || full.TMax != 600 {
+		t.Errorf("defaults = %+v", full)
+	}
+	if full.System.Atoms != 2881 {
+		t.Errorf("default system = %+v", full.System)
+	}
+	bad := []Config{
+		{Replicas: 1, Cycles: 1, Resource: "r"},
+		{Replicas: 4, Cycles: 0, Resource: "r"},
+		{Replicas: 4, Cycles: 1},
+		{Replicas: 4, Cycles: 1, Resource: "r", TMin: 500, TMax: 400},
+		{Replicas: 4, Cycles: 1, Resource: "r", PsPerCycle: -1},
+	}
+	for i, c := range bad {
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if Synchronous.String() != "synchronous" || Asynchronous.String() != "asynchronous" {
+		t.Error("protocol strings wrong")
+	}
+}
+
+func TestSynchronousRun(t *testing.T) {
+	v := vclock.NewVirtual()
+	var res *Result
+	var err error
+	v.Run(func() {
+		res, err = Run(v, Config{
+			Replicas: 16,
+			Cycles:   5,
+			Resource: "lsu.supermic",
+			Seed:     7,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Phase("simulation").Tasks != 16*5 {
+		t.Errorf("sim tasks = %d", res.Report.Phase("simulation").Tasks)
+	}
+	if len(res.SwapsPerCycle) != 5 {
+		t.Errorf("swaps per cycle = %v", res.SwapsPerCycle)
+	}
+	if res.AcceptanceRatio <= 0 || res.AcceptanceRatio > 1 {
+		t.Errorf("acceptance = %v", res.AcceptanceRatio)
+	}
+	if len(res.TemperatureWalk) != 6 { // initial + 5 cycles
+		t.Errorf("walk length = %d", len(res.TemperatureWalk))
+	}
+	// Ladder conservation per cycle snapshot.
+	for c, temps := range res.TemperatureWalk {
+		if len(temps) != 16 {
+			t.Fatalf("cycle %d has %d temps", c, len(temps))
+		}
+	}
+	if res.LadderMobility <= 1.0/16 || res.LadderMobility > 1 {
+		t.Errorf("ladder mobility = %v", res.LadderMobility)
+	}
+}
+
+func TestAsynchronousRun(t *testing.T) {
+	v := vclock.NewVirtual()
+	var res *Result
+	var err error
+	v.Run(func() {
+		res, err = Run(v, Config{
+			Replicas: 8,
+			Cycles:   4,
+			Resource: "lsu.supermic",
+			Protocol: Asynchronous,
+			Seed:     11,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Phase("simulation").Tasks != 32 {
+		t.Errorf("sim tasks = %d", res.Report.Phase("simulation").Tasks)
+	}
+	if res.AcceptanceRatio < 0 || res.AcceptanceRatio > 1 {
+		t.Errorf("acceptance = %v", res.AcceptanceRatio)
+	}
+	var total int
+	for _, n := range res.SwapsPerCycle {
+		total += n
+	}
+	if total == 0 {
+		t.Error("no pairwise swap accepted in 4 cycles (acceptance model broken)")
+	}
+}
+
+func TestRunErrorsSurface(t *testing.T) {
+	v := vclock.NewVirtual()
+	v.Run(func() {
+		if _, err := Run(v, Config{Replicas: 4, Cycles: 1, Resource: "no.such"}); err == nil {
+			t.Error("unknown resource accepted")
+		}
+		if _, err := Run(v, Config{Replicas: 1, Cycles: 1, Resource: "lsu.supermic"}); err == nil {
+			t.Error("single replica accepted")
+		}
+	})
+}
+
+func TestProtocolsAgreeOnWorkload(t *testing.T) {
+	// Same replica count and cycles: both protocols run the same number
+	// of simulation tasks; the async one finishes no later than sync plus
+	// tolerance (heterogeneity is absent here, so they should be close).
+	run := func(p Protocol) *Result {
+		v := vclock.NewVirtual()
+		var res *Result
+		var err error
+		v.Run(func() {
+			res, err = Run(v, Config{
+				Replicas: 8, Cycles: 3, Resource: "lsu.supermic", Protocol: p, Seed: 3,
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sync := run(Synchronous)
+	async := run(Asynchronous)
+	if sync.Report.Phase("simulation").Tasks != async.Report.Phase("simulation").Tasks {
+		t.Errorf("sim task mismatch: %d vs %d",
+			sync.Report.Phase("simulation").Tasks, async.Report.Phase("simulation").Tasks)
+	}
+	if async.Report.TTC > sync.Report.TTC+30*time.Second {
+		t.Errorf("async (%v) much slower than sync (%v)", async.Report.TTC, sync.Report.TTC)
+	}
+}

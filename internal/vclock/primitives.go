@@ -1,0 +1,344 @@
+package vclock
+
+import "fmt"
+
+// Event is a one-shot broadcast flag on a virtual clock, analogous to
+// closing a channel. Wait blocks the calling process until Fire is called;
+// once fired, Wait returns immediately forever after.
+type Event struct {
+	v       *Virtual
+	name    string
+	fired   bool
+	waiting int
+	ch      chan struct{}
+}
+
+// NewEvent returns an unfired Event. The name appears in deadlock reports.
+func NewEvent(v *Virtual, name string) *Event {
+	return &Event{v: v, name: name, ch: make(chan struct{})}
+}
+
+// Fired reports whether the event has been fired.
+func (e *Event) Fired() bool {
+	e.v.mu.Lock()
+	defer e.v.mu.Unlock()
+	return e.fired
+}
+
+// Fire marks the event fired and wakes all waiters. Firing twice is a
+// harmless no-op.
+func (e *Event) Fire() {
+	e.v.mu.Lock()
+	if !e.fired {
+		e.fired = true
+		e.v.wake(e.waiting)
+		e.waiting = 0
+		close(e.ch)
+	}
+	e.v.mu.Unlock()
+}
+
+// Wait blocks the calling process until the event fires.
+func (e *Event) Wait() {
+	e.v.mu.Lock()
+	if e.fired {
+		e.v.mu.Unlock()
+		return
+	}
+	e.waiting++
+	tok := e.v.blockOn("event " + e.name)
+	e.v.mu.Unlock()
+	<-e.ch
+	e.v.mu.Lock()
+	e.v.unblocked(tok)
+	e.v.mu.Unlock()
+}
+
+// WaitGroup is the virtual-time analogue of sync.WaitGroup.
+type WaitGroup struct {
+	v     *Virtual
+	name  string
+	count int
+	done  *Event
+}
+
+// NewWaitGroup returns a WaitGroup with a zero counter.
+func NewWaitGroup(v *Virtual, name string) *WaitGroup {
+	return &WaitGroup{v: v, name: name}
+}
+
+// Add adds delta (which may be negative) to the counter. If the counter
+// reaches zero, waiters are released; if it goes negative, Add panics.
+func (wg *WaitGroup) Add(delta int) {
+	wg.v.mu.Lock()
+	wg.count += delta
+	if wg.count < 0 {
+		wg.v.mu.Unlock()
+		panic("vclock: negative WaitGroup counter")
+	}
+	var release *Event
+	if wg.count == 0 && wg.done != nil {
+		release = wg.done
+		wg.done = nil
+	}
+	wg.v.mu.Unlock()
+	if release != nil {
+		release.Fire()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks the calling process until the counter is zero.
+func (wg *WaitGroup) Wait() {
+	wg.v.mu.Lock()
+	if wg.count == 0 {
+		wg.v.mu.Unlock()
+		return
+	}
+	if wg.done == nil {
+		wg.done = &Event{v: wg.v, name: "waitgroup " + wg.name, ch: make(chan struct{})}
+	}
+	ev := wg.done
+	wg.v.mu.Unlock()
+	ev.Wait()
+}
+
+// Queue is an unbounded FIFO channel between virtual-time processes.
+// Get blocks until an item is available; Put never blocks. Close releases
+// all pending and future Gets with ok=false once the buffer drains.
+type Queue struct {
+	v       *Virtual
+	name    string
+	buf     []interface{}
+	waiters []*qwaiter // FIFO consumers, each handed one item
+	closed  bool
+}
+
+type qwaiter struct {
+	ch chan qresult
+}
+
+type qresult struct {
+	item interface{}
+	ok   bool
+}
+
+// NewQueue returns an empty open queue.
+func NewQueue(v *Virtual, name string) *Queue {
+	return &Queue{v: v, name: name}
+}
+
+// Put appends an item, handing it directly to the oldest waiting consumer
+// if one exists. Put on a closed queue panics.
+func (q *Queue) Put(item interface{}) {
+	q.v.mu.Lock()
+	if q.closed {
+		q.v.mu.Unlock()
+		panic("vclock: Put on closed queue " + q.name)
+	}
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		q.v.wake(1)
+		q.v.mu.Unlock()
+		w.ch <- qresult{item, true}
+		return
+	}
+	q.buf = append(q.buf, item)
+	q.v.mu.Unlock()
+}
+
+// Get removes and returns the oldest item. It blocks the calling process
+// until an item is available or the queue is closed and drained, in which
+// case it returns (nil, false).
+func (q *Queue) Get() (interface{}, bool) {
+	q.v.mu.Lock()
+	if len(q.buf) > 0 {
+		item := q.buf[0]
+		q.buf = q.buf[1:]
+		q.v.mu.Unlock()
+		return item, true
+	}
+	if q.closed {
+		q.v.mu.Unlock()
+		return nil, false
+	}
+	w := &qwaiter{ch: make(chan qresult, 1)}
+	q.waiters = append(q.waiters, w)
+	tok := q.v.blockOn("queue " + q.name)
+	q.v.mu.Unlock()
+	r := <-w.ch
+	q.v.mu.Lock()
+	q.v.unblocked(tok)
+	q.v.mu.Unlock()
+	return r.item, r.ok
+}
+
+// TryGet removes and returns the oldest item without blocking. ok is false
+// if the queue is empty.
+func (q *Queue) TryGet() (interface{}, bool) {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	if len(q.buf) == 0 {
+		return nil, false
+	}
+	item := q.buf[0]
+	q.buf = q.buf[1:]
+	return item, true
+}
+
+// Len reports the number of buffered items.
+func (q *Queue) Len() int {
+	q.v.mu.Lock()
+	defer q.v.mu.Unlock()
+	return len(q.buf)
+}
+
+// Close marks the queue closed and releases all blocked consumers with
+// ok=false. Closing twice is a no-op.
+func (q *Queue) Close() {
+	q.v.mu.Lock()
+	if q.closed {
+		q.v.mu.Unlock()
+		return
+	}
+	q.closed = true
+	ws := q.waiters
+	q.waiters = nil
+	q.v.wake(len(ws))
+	q.v.mu.Unlock()
+	for _, w := range ws {
+		w.ch <- qresult{nil, false}
+	}
+}
+
+// Semaphore is a counting semaphore on a virtual clock with FIFO waiters.
+type Semaphore struct {
+	v       *Virtual
+	name    string
+	avail   int
+	waiters []*swaiter
+}
+
+type swaiter struct {
+	n  int
+	ch chan struct{}
+}
+
+// NewSemaphore returns a semaphore with n initially available permits.
+func NewSemaphore(v *Virtual, name string, n int) *Semaphore {
+	if n < 0 {
+		panic("vclock: negative semaphore capacity")
+	}
+	return &Semaphore{v: v, name: name, avail: n}
+}
+
+// Acquire takes n permits, blocking the calling process until available.
+// Waiters are served strictly FIFO to avoid starvation of large requests.
+func (s *Semaphore) Acquire(n int) {
+	if n <= 0 {
+		return
+	}
+	s.v.mu.Lock()
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		s.v.mu.Unlock()
+		return
+	}
+	w := &swaiter{n: n, ch: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	tok := s.v.blockOn(fmt.Sprintf("semaphore %s (acquire %d, avail %d)", s.name, n, s.avail))
+	s.v.mu.Unlock()
+	<-w.ch
+	s.v.mu.Lock()
+	s.v.unblocked(tok)
+	s.v.mu.Unlock()
+}
+
+// TryAcquire takes n permits only if immediately available, reporting
+// whether it did. It never blocks and never jumps the FIFO queue.
+func (s *Semaphore) TryAcquire(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	s.v.mu.Lock()
+	defer s.v.mu.Unlock()
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and serves FIFO waiters whose requests now fit.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	s.v.mu.Lock()
+	s.avail += n
+	var served []*swaiter
+	for len(s.waiters) > 0 && s.waiters[0].n <= s.avail {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		served = append(served, w)
+	}
+	s.v.wake(len(served))
+	s.v.mu.Unlock()
+	for _, w := range served {
+		close(w.ch)
+	}
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int {
+	s.v.mu.Lock()
+	defer s.v.mu.Unlock()
+	return s.avail
+}
+
+// Barrier is a reusable synchronisation barrier for a fixed party count:
+// the n-th arrival releases everyone and resets the barrier for the next
+// round.
+type Barrier struct {
+	v       *Virtual
+	name    string
+	parties int
+	arrived int
+	round   int
+	gen     *Event
+}
+
+// NewBarrier returns a barrier for the given number of parties (>= 1).
+func NewBarrier(v *Virtual, name string, parties int) *Barrier {
+	if parties < 1 {
+		panic("vclock: barrier needs at least one party")
+	}
+	b := &Barrier{v: v, name: name, parties: parties}
+	b.gen = NewEvent(v, fmt.Sprintf("barrier %s round 0", name))
+	return b
+}
+
+// Await blocks the calling process until all parties have arrived, then
+// returns the round number that just completed.
+func (b *Barrier) Await() int {
+	b.v.mu.Lock()
+	round := b.round
+	b.arrived++
+	if b.arrived == b.parties {
+		release := b.gen
+		b.arrived = 0
+		b.round++
+		b.gen = &Event{v: b.v, name: fmt.Sprintf("barrier %s round %d", b.name, b.round), ch: make(chan struct{})}
+		b.v.mu.Unlock()
+		release.Fire()
+		return round
+	}
+	ev := b.gen
+	b.v.mu.Unlock()
+	ev.Wait()
+	return round
+}

@@ -1,0 +1,224 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event virtual clock.
+//
+// Processes are goroutines registered with Go or Run. The clock tracks how
+// many registered processes are runnable; when the count drops to zero it
+// advances time to the earliest pending timer and wakes its sleepers. If no
+// timer is pending and blocked waiters remain, the simulation is deadlocked
+// and the engine panics with a dump of what everyone is waiting on. The
+// panic is raised on whichever goroutine blocked last: recoverable when
+// that is the Run caller, fatal (by design — it is a programming-error
+// diagnostic) when it is a spawned process.
+//
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu       sync.Mutex
+	now      time.Duration
+	runnable int
+	timers   timerHeap
+	seq      int64
+	// blocked tracks descriptions of processes blocked on non-timer
+	// primitives, keyed by a unique token, for deadlock diagnostics.
+	blocked map[int64]string
+	// dead marks the clock as having detected a deadlock; all further
+	// accounting becomes a no-op so the panic can unwind (and deferred
+	// exits can run) without corrupting or re-locking the engine.
+	dead bool
+}
+
+// NewVirtual returns a virtual clock at time zero with no processes.
+func NewVirtual() *Virtual {
+	return &Virtual{blocked: make(map[int64]string)}
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep suspends the calling process for d of virtual time. The caller must
+// be a registered process (spawned via Go or running inside Run); otherwise
+// the runnable accounting is corrupted.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	ch := make(chan struct{})
+	heap.Push(&v.timers, &timer{deadline: v.now + d, seq: v.nextSeq(), ch: ch})
+	v.becomeBlocked()
+	v.mu.Unlock()
+	<-ch
+}
+
+// Go spawns fn as a new registered process. It may be called from inside or
+// outside the simulation; the process is counted as runnable from the
+// moment Go returns, so the clock cannot advance past work that fn is about
+// to do.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	v.runnable++
+	v.mu.Unlock()
+	go func() {
+		defer v.exit()
+		fn()
+	}()
+}
+
+// Run executes fn inline as a registered process and returns when fn
+// returns. It is the usual entry point: tests and binaries call
+// v.Run(func(){ ... }) and spawn further processes with v.Go from inside.
+func (v *Virtual) Run(fn func()) {
+	v.mu.Lock()
+	v.runnable++
+	v.mu.Unlock()
+	defer v.exit()
+	fn()
+}
+
+// exit deregisters the calling process.
+func (v *Virtual) exit() {
+	v.mu.Lock()
+	v.becomeBlockedNoWait()
+	v.mu.Unlock()
+}
+
+// nextSeq returns a fresh sequence number. Caller holds mu.
+func (v *Virtual) nextSeq() int64 {
+	v.seq++
+	return v.seq
+}
+
+// becomeBlocked transitions the calling process from runnable to blocked
+// and, if it was the last runnable process, advances the clock. Caller
+// holds mu and must wait on its wake channel after unlocking.
+func (v *Virtual) becomeBlocked() {
+	v.becomeBlockedNoWait()
+}
+
+func (v *Virtual) becomeBlockedNoWait() {
+	if v.dead {
+		return
+	}
+	v.runnable--
+	if v.runnable < 0 {
+		panic("vclock: runnable count underflow (blocking call from unregistered goroutine?)")
+	}
+	if v.runnable == 0 {
+		v.advance()
+	}
+}
+
+// wake marks n processes runnable again. Caller holds mu and must signal
+// the woken processes itself. The waker is either a runnable process or the
+// advance loop, so the clock cannot be mid-jump.
+func (v *Virtual) wake(n int) {
+	v.runnable += n
+}
+
+// advance jumps virtual time to the earliest pending timer deadline and
+// fires every timer sharing that deadline. Caller holds mu, and the
+// runnable count is zero. If there are no timers but blocked waiters
+// remain, the simulation can never make progress: panic with diagnostics.
+func (v *Virtual) advance() {
+	for v.runnable == 0 {
+		if v.timers.Len() == 0 {
+			if len(v.blocked) > 0 {
+				// Fatal: no process can ever run again. Mark the engine
+				// dead and release the mutex before panicking so that
+				// deferred exits on the unwinding goroutine (Run's
+				// v.exit, callers' cleanup) do not self-deadlock on mu.
+				msg := v.deadlockReport()
+				v.dead = true
+				v.mu.Unlock()
+				panic(msg)
+			}
+			return // simulation quiescent: all processes finished
+		}
+		deadline := v.timers[0].deadline
+		if deadline < v.now {
+			panic("vclock: timer deadline in the past")
+		}
+		v.now = deadline
+		for v.timers.Len() > 0 && v.timers[0].deadline == deadline {
+			t := heap.Pop(&v.timers).(*timer)
+			v.runnable++
+			close(t.ch)
+		}
+	}
+}
+
+// deadlockReport formats the blocked-waiter table for the deadlock panic.
+// Caller holds mu.
+func (v *Virtual) deadlockReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vclock: deadlock at t=%v: no runnable process, no pending timer, %d blocked waiter(s):",
+		v.now, len(v.blocked))
+	descs := make([]string, 0, len(v.blocked))
+	for _, d := range v.blocked {
+		descs = append(descs, d)
+	}
+	sort.Strings(descs)
+	for _, d := range descs {
+		b.WriteString("\n  - ")
+		b.WriteString(d)
+	}
+	return b.String()
+}
+
+// blockOn records that the calling process is blocked on the primitive
+// described by desc, transitions it to blocked, and returns a token to pass
+// to unblocked once it resumes. Caller holds mu.
+func (v *Virtual) blockOn(desc string) int64 {
+	tok := v.nextSeq()
+	v.blocked[tok] = desc
+	v.becomeBlocked()
+	return tok
+}
+
+// unblocked clears the diagnostic entry for a process that has resumed.
+// Caller holds mu. The wake(n) call that made the process runnable again
+// must have happened already.
+func (v *Virtual) unblocked(tok int64) {
+	delete(v.blocked, tok)
+}
+
+// timer is a pending virtual-time wakeup.
+type timer struct {
+	deadline time.Duration
+	seq      int64 // FIFO tiebreak among equal deadlines
+	ch       chan struct{}
+}
+
+// timerHeap is a min-heap of timers ordered by (deadline, seq).
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,584 @@
+package vclock
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRealClockMonotonic(t *testing.T) {
+	r := NewReal()
+	a := r.Now()
+	r.Sleep(time.Millisecond)
+	b := r.Now()
+	if b < a {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+	r.Sleep(-time.Second) // must not block
+}
+
+func TestVirtualStartsAtZero(t *testing.T) {
+	v := NewVirtual()
+	if got := v.Now(); got != 0 {
+		t.Fatalf("new virtual clock at %v, want 0", got)
+	}
+}
+
+func TestSleepAdvancesExactly(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		v.Sleep(5 * time.Second)
+		if got := v.Now(); got != 5*time.Second {
+			t.Errorf("after Sleep(5s) clock at %v", got)
+		}
+		v.Sleep(2500 * time.Millisecond)
+		if got := v.Now(); got != 7500*time.Millisecond {
+			t.Errorf("after second sleep clock at %v", got)
+		}
+	})
+}
+
+func TestSleepNonPositiveReturnsImmediately(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		v.Sleep(0)
+		v.Sleep(-time.Hour)
+		if got := v.Now(); got != 0 {
+			t.Errorf("non-positive sleeps advanced clock to %v", got)
+		}
+	})
+}
+
+func TestConcurrentSleepersWakeInOrder(t *testing.T) {
+	v := NewVirtual()
+	var mu sync.Mutex
+	var order []time.Duration
+	v.Run(func() {
+		wg := NewWaitGroup(v, "sleepers")
+		for _, d := range []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second} {
+			d := d
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				v.Sleep(d)
+				mu.Lock()
+				order = append(order, v.Now())
+				mu.Unlock()
+			})
+		}
+		wg.Wait()
+	})
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	if len(order) != len(want) {
+		t.Fatalf("got %d wakeups, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("wakeup %d at %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestSimultaneousTimersAllFire(t *testing.T) {
+	v := NewVirtual()
+	const n = 50
+	var fired int
+	var mu sync.Mutex
+	v.Run(func() {
+		wg := NewWaitGroup(v, "simul")
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				v.Sleep(time.Second)
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			})
+		}
+		wg.Wait()
+	})
+	if fired != n {
+		t.Fatalf("%d timers fired, want %d", fired, n)
+	}
+	if got := v.Now(); got != time.Second {
+		t.Fatalf("clock at %v, want 1s", got)
+	}
+}
+
+func TestNestedSpawns(t *testing.T) {
+	v := NewVirtual()
+	var total time.Duration
+	v.Run(func() {
+		wg := NewWaitGroup(v, "outer")
+		wg.Add(1)
+		v.Go(func() {
+			defer wg.Done()
+			v.Sleep(time.Second)
+			inner := NewWaitGroup(v, "inner")
+			inner.Add(1)
+			v.Go(func() {
+				defer inner.Done()
+				v.Sleep(2 * time.Second)
+			})
+			inner.Wait()
+		})
+		wg.Wait()
+		total = v.Now()
+	})
+	if total != 3*time.Second {
+		t.Fatalf("nested spawn finished at %v, want 3s", total)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	v := NewVirtual()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected deadlock panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "deadlock") || !strings.Contains(msg, "event never-fired") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	v.Run(func() {
+		ev := NewEvent(v, "never-fired")
+		ev.Wait()
+	})
+}
+
+// Regression: the deadlock panic must be recoverable from the Run caller
+// without self-deadlocking on the engine mutex (Run's deferred exit used
+// to re-lock the mutex the panicking goroutine still held), and the
+// engine must stay usable enough afterwards to be inspected.
+func TestDeadlockPanicIsRecoverable(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }()
+		v.Run(func() {
+			NewEvent(v, "stuck").Wait()
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock panic did not unwind: engine self-deadlocked")
+	}
+	// Post-mortem inspection must not hang or panic.
+	if got := v.Now(); got != 0 {
+		t.Errorf("clock at %v after deadlock, want 0", got)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	v := NewVirtual()
+	const n = 10
+	var woke int
+	var mu sync.Mutex
+	v.Run(func() {
+		ev := NewEvent(v, "go")
+		wg := NewWaitGroup(v, "waiters")
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				ev.Wait()
+				mu.Lock()
+				woke++
+				mu.Unlock()
+			})
+		}
+		v.Sleep(time.Second)
+		if ev.Fired() {
+			t.Error("event fired prematurely")
+		}
+		ev.Fire()
+		ev.Fire() // double fire is a no-op
+		wg.Wait()
+		ev.Wait() // post-fire wait returns immediately
+	})
+	if woke != n {
+		t.Fatalf("%d waiters woke, want %d", woke, n)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		q := NewQueue(v, "fifo")
+		for i := 0; i < 5; i++ {
+			q.Put(i)
+		}
+		if q.Len() != 5 {
+			t.Fatalf("queue length %d, want 5", q.Len())
+		}
+		for i := 0; i < 5; i++ {
+			item, ok := q.Get()
+			if !ok || item.(int) != i {
+				t.Fatalf("Get = (%v,%v), want (%d,true)", item, ok, i)
+			}
+		}
+	})
+}
+
+func TestQueueBlockingHandoff(t *testing.T) {
+	v := NewVirtual()
+	var got interface{}
+	v.Run(func() {
+		q := NewQueue(v, "handoff")
+		done := NewEvent(v, "done")
+		v.Go(func() {
+			item, ok := q.Get() // blocks: queue empty
+			if !ok {
+				t.Error("Get returned !ok")
+			}
+			got = item
+			done.Fire()
+		})
+		v.Sleep(time.Second)
+		q.Put("hello")
+		done.Wait()
+	})
+	if got != "hello" {
+		t.Fatalf("handoff got %v", got)
+	}
+}
+
+func TestQueueCloseReleasesConsumers(t *testing.T) {
+	v := NewVirtual()
+	var oks []bool
+	var mu sync.Mutex
+	v.Run(func() {
+		q := NewQueue(v, "close")
+		q.Put(1)
+		wg := NewWaitGroup(v, "consumers")
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				_, ok := q.Get()
+				mu.Lock()
+				oks = append(oks, ok)
+				mu.Unlock()
+			})
+		}
+		v.Sleep(time.Second)
+		q.Close()
+		q.Close() // idempotent
+		wg.Wait()
+		if _, ok := q.Get(); ok {
+			t.Error("Get on closed drained queue returned ok")
+		}
+	})
+	var trues int
+	for _, ok := range oks {
+		if ok {
+			trues++
+		}
+	}
+	if trues != 1 {
+		t.Fatalf("%d consumers got items, want exactly 1 (the buffered item)", trues)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		q := NewQueue(v, "try")
+		if _, ok := q.TryGet(); ok {
+			t.Error("TryGet on empty queue returned ok")
+		}
+		q.Put(7)
+		item, ok := q.TryGet()
+		if !ok || item.(int) != 7 {
+			t.Errorf("TryGet = (%v,%v), want (7,true)", item, ok)
+		}
+	})
+}
+
+func TestQueuePutOnClosedPanics(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		q := NewQueue(v, "closed-put")
+		q.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("Put on closed queue did not panic")
+			}
+		}()
+		q.Put(1)
+	})
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	v := NewVirtual()
+	const permits = 3
+	const tasks = 10
+	var cur, peak int
+	var mu sync.Mutex
+	v.Run(func() {
+		sem := NewSemaphore(v, "limit", permits)
+		wg := NewWaitGroup(v, "tasks")
+		for i := 0; i < tasks; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				sem.Acquire(1)
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				v.Sleep(time.Second)
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				sem.Release(1)
+			})
+		}
+		wg.Wait()
+	})
+	if peak > permits {
+		t.Fatalf("peak concurrency %d exceeded %d permits", peak, permits)
+	}
+	// 10 tasks, 3 permits, 1s each => ceil(10/3) = 4 virtual seconds.
+	if got := v.Now(); got != 4*time.Second {
+		t.Fatalf("semaphore-limited run took %v, want 4s", got)
+	}
+}
+
+func TestSemaphoreFIFONoStarvation(t *testing.T) {
+	v := NewVirtual()
+	var order []int
+	var mu sync.Mutex
+	v.Run(func() {
+		sem := NewSemaphore(v, "fifo", 2)
+		sem.Acquire(2)
+		wg := NewWaitGroup(v, "waiters")
+		// A large request queued first must be served before a small
+		// later one (strict FIFO).
+		wg.Add(1)
+		v.Go(func() {
+			defer wg.Done()
+			sem.Acquire(2)
+			mu.Lock()
+			order = append(order, 2)
+			mu.Unlock()
+			sem.Release(2)
+		})
+		v.Sleep(time.Second)
+		wg.Add(1)
+		v.Go(func() {
+			defer wg.Done()
+			sem.Acquire(1)
+			mu.Lock()
+			order = append(order, 1)
+			mu.Unlock()
+			sem.Release(1)
+		})
+		v.Sleep(time.Second)
+		if got := sem.Available(); got != 0 {
+			t.Errorf("available = %d with holder active", got)
+		}
+		if sem.TryAcquire(1) {
+			t.Error("TryAcquire jumped the FIFO queue")
+		}
+		sem.Release(2)
+		wg.Wait()
+	})
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("service order %v, want [2 1]", order)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		sem := NewSemaphore(v, "try", 2)
+		if !sem.TryAcquire(2) {
+			t.Fatal("TryAcquire(2) failed with 2 available")
+		}
+		if sem.TryAcquire(1) {
+			t.Fatal("TryAcquire(1) succeeded with 0 available")
+		}
+		sem.Release(2)
+		if !sem.TryAcquire(0) {
+			t.Fatal("TryAcquire(0) must always succeed")
+		}
+	})
+}
+
+func TestBarrierRounds(t *testing.T) {
+	v := NewVirtual()
+	const parties = 4
+	const rounds = 3
+	counts := make([]int, rounds)
+	var mu sync.Mutex
+	v.Run(func() {
+		b := NewBarrier(v, "rounds", parties)
+		wg := NewWaitGroup(v, "parties")
+		for p := 0; p < parties; p++ {
+			p := p
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					v.Sleep(time.Duration(p+1) * time.Second)
+					round := b.Await()
+					if round != r {
+						t.Errorf("party %d saw round %d, want %d", p, round, r)
+					}
+					mu.Lock()
+					counts[r]++
+					mu.Unlock()
+				}
+			})
+		}
+		wg.Wait()
+	})
+	for r, c := range counts {
+		if c != parties {
+			t.Errorf("round %d released %d parties, want %d", r, c, parties)
+		}
+	}
+}
+
+func TestWaitGroupZeroWaitReturnsImmediately(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		wg := NewWaitGroup(v, "zero")
+		wg.Wait() // counter is 0: must not block
+	})
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	v := NewVirtual()
+	v.Run(func() {
+		wg := NewWaitGroup(v, "neg")
+		defer func() {
+			if recover() == nil {
+				t.Error("negative WaitGroup did not panic")
+			}
+		}()
+		wg.Done()
+	})
+}
+
+// Property: for any set of sleep durations, the clock ends at the maximum
+// duration and every sleeper observes exactly its own duration.
+func TestPropertySleepMaxIsTTC(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		v := NewVirtual()
+		var max time.Duration
+		ok := true
+		var mu sync.Mutex
+		v.Run(func() {
+			wg := NewWaitGroup(v, "prop")
+			for _, r := range raw {
+				d := time.Duration(r) * time.Millisecond
+				if d > max {
+					max = d
+				}
+				wg.Add(1)
+				v.Go(func() {
+					defer wg.Done()
+					start := v.Now()
+					v.Sleep(d)
+					if v.Now()-start != d {
+						mu.Lock()
+						ok = false
+						mu.Unlock()
+					}
+				})
+			}
+			wg.Wait()
+		})
+		return ok && v.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sequential sleeps accumulate exactly.
+func TestPropertySequentialSleepsAccumulate(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		v := NewVirtual()
+		var sum time.Duration
+		v.Run(func() {
+			for _, r := range raw {
+				d := time.Duration(r) * time.Millisecond
+				sum += d
+				v.Sleep(d)
+			}
+		})
+		return v.Now() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time never moves backwards as observed by any process under a
+// randomized mix of sleeps and spawns.
+func TestPropertyMonotonicTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		v := NewVirtual()
+		var mu sync.Mutex
+		var last time.Duration
+		violated := false
+		observe := func() {
+			mu.Lock()
+			now := v.Now()
+			if now < last {
+				violated = true
+			}
+			last = now
+			mu.Unlock()
+		}
+		n := 2 + rng.Intn(10)
+		steps := make([][]time.Duration, n)
+		for i := range steps {
+			k := 1 + rng.Intn(5)
+			for j := 0; j < k; j++ {
+				steps[i] = append(steps[i], time.Duration(rng.Intn(1000))*time.Millisecond)
+			}
+		}
+		v.Run(func() {
+			wg := NewWaitGroup(v, "mono")
+			for i := 0; i < n; i++ {
+				i := i
+				wg.Add(1)
+				v.Go(func() {
+					defer wg.Done()
+					for _, d := range steps[i] {
+						v.Sleep(d)
+						observe()
+					}
+				})
+			}
+			wg.Wait()
+		})
+		if violated {
+			t.Fatalf("trial %d: observed time going backwards", trial)
+		}
+	}
+}

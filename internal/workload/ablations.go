@@ -1,0 +1,356 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"entk/internal/batch"
+	"entk/internal/core"
+	"entk/internal/kernels"
+	"entk/internal/pilot"
+	"entk/internal/vclock"
+)
+
+// ---------------------------------------------------------------------------
+// Ablation 1: collective vs pairwise exchange
+
+// ExchangeModeRow compares EE exchange modes on a heterogeneous workload.
+type ExchangeModeRow struct {
+	Mode   string
+	TTCSec float64
+}
+
+// ExchangeModeResult holds the comparison.
+type ExchangeModeResult struct {
+	Rows []ExchangeModeRow
+}
+
+// AblationExchangeMode runs the same heterogeneous REMD workload (64
+// replicas, 4 cycles, replica runtimes spread 4x) in collective and
+// pairwise exchange mode. Collective mode pays a global barrier per
+// cycle; pairwise mode lets fast replicas run ahead, which is the design
+// argument behind the paper's "no obligatory global synchronisation".
+func AblationExchangeMode() (*ExchangeModeResult, error) {
+	const replicas, cycles = 64, 4
+	simK := func(cycle, r int) *core.Kernel {
+		// Heterogeneous durations: 10s..40s depending on the replica.
+		return &core.Kernel{
+			Name:   "misc.sleep",
+			Params: map[string]float64{"seconds": float64(10 + 10*(r%4))},
+		}
+	}
+	build := func(mode core.ExchangeMode) func() core.Pattern {
+		return func() core.Pattern {
+			nRep := 2.0
+			if mode == core.CollectiveExchange {
+				nRep = float64(replicas)
+			}
+			return &core.EnsembleExchange{
+				Replicas:         replicas,
+				Cycles:           cycles,
+				Mode:             mode,
+				SimulationKernel: simK,
+				ExchangeKernel: func(cycle int) *core.Kernel {
+					return &core.Kernel{
+						Name:   "md.remd_exchange",
+						Params: map[string]float64{"replicas": nRep},
+					}
+				},
+			}
+		}
+	}
+	res := &ExchangeModeResult{}
+	for _, mode := range []core.ExchangeMode{core.CollectiveExchange, core.PairwiseExchange} {
+		rep, err := runOnFreshClock("lsu.supermic", replicas, build(mode))
+		if err != nil {
+			return nil, fmt.Errorf("ablation exchange %v: %w", mode, err)
+		}
+		res.Rows = append(res.Rows, ExchangeModeRow{Mode: mode.String(), TTCSec: rep.TTC.Seconds()})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *ExchangeModeResult) Table() string {
+	headers := []string{"exchange_mode", "ttc_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{w.Mode, f1(w.TTCSec)})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts that pairwise exchange beats the collective barrier on a
+// heterogeneous ensemble.
+func (r *ExchangeModeResult) Check() error {
+	if len(r.Rows) != 2 {
+		return fmt.Errorf("ablation exchange: want 2 rows, got %d", len(r.Rows))
+	}
+	collective, pairwise := r.Rows[0].TTCSec, r.Rows[1].TTCSec
+	if pairwise >= collective {
+		return fmt.Errorf("ablation exchange: pairwise (%.1fs) not faster than collective (%.1fs)",
+			pairwise, collective)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2: batch queue policy (FIFO vs EASY backfill)
+
+// BackfillRow reports the small job's queue wait under one policy.
+type BackfillRow struct {
+	Policy        string
+	SmallWaitSec  float64
+	BigArrivalSec float64 // when the blocked big pilot finally activated
+}
+
+// BackfillResult holds the comparison.
+type BackfillResult struct {
+	Rows []BackfillRow
+}
+
+// AblationBackfill shows the batch-layer scheduling policy's effect on
+// pilot startup: on a machine mostly occupied by a long pilot, a
+// machine-wide pilot queues, and a small short pilot behind it either
+// waits for both (FIFO) or backfills immediately (EASY).
+func AblationBackfill() (*BackfillResult, error) {
+	res := &BackfillResult{}
+	for _, policy := range []batch.Policy{batch.FIFO, batch.EASYBackfill} {
+		v := vclock.NewVirtual()
+		cfg := pilot.DefaultConfig()
+		cfg.BatchPolicy = policy
+		sess := pilot.NewSession(v, kernels.NewRegistry(), cfg)
+		pm := pilot.NewPilotManager(sess)
+		row := BackfillRow{Policy: policy.String()}
+		var err error
+		v.Run(func() {
+			// Hog: 340 of SuperMIC's 360 nodes for 2h.
+			hog, e := pm.Submit(pilot.PilotDescription{
+				Resource: "lsu.supermic", Cores: 340 * 20, Walltime: 2 * time.Hour,
+			})
+			if e != nil {
+				err = e
+				return
+			}
+			hog.WaitActive()
+			// Big: all 360 nodes; must wait for the hog to end.
+			big, e := pm.Submit(pilot.PilotDescription{
+				Resource: "lsu.supermic", Cores: 360 * 20, Walltime: time.Hour,
+			})
+			if e != nil {
+				err = e
+				return
+			}
+			// Small: 1 node, 30 min; fits now and ends before the hog.
+			small, e := pm.Submit(pilot.PilotDescription{
+				Resource: "lsu.supermic", Cores: 20, Walltime: 30 * time.Minute,
+			})
+			if e != nil {
+				err = e
+				return
+			}
+			big.WaitActive()
+			row.BigArrivalSec = v.Now().Seconds()
+			small.WaitActive()
+			row.SmallWaitSec = small.QueueWait().Seconds()
+			small.Cancel()
+			big.Cancel()
+			hog.Cancel()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation backfill %v: %w", policy, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *BackfillResult) Table() string {
+	headers := []string{"batch_policy", "small_pilot_wait_s", "big_pilot_active_at_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{w.Policy, f1(w.SmallWaitSec), f1(w.BigArrivalSec)})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts EASY backfill starts the small pilot much earlier than
+// FIFO without delaying the big pilot.
+func (r *BackfillResult) Check() error {
+	if len(r.Rows) != 2 {
+		return fmt.Errorf("ablation backfill: want 2 rows, got %d", len(r.Rows))
+	}
+	fifo, easy := r.Rows[0], r.Rows[1]
+	if easy.SmallWaitSec >= fifo.SmallWaitSec {
+		return fmt.Errorf("ablation backfill: EASY wait %.1fs not shorter than FIFO %.1fs",
+			easy.SmallWaitSec, fifo.SmallWaitSec)
+	}
+	// EASY must not delay the head job materially (< 1% tolerance for
+	// control latencies).
+	if easy.BigArrivalSec > fifo.BigArrivalSec*1.01 {
+		return fmt.Errorf("ablation backfill: EASY delayed the big pilot (%.1fs vs %.1fs)",
+			easy.BigArrivalSec, fifo.BigArrivalSec)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 3: unit-manager dispatch cost
+
+// DispatchRow reports pattern overhead for one per-unit dispatch cost.
+type DispatchRow struct {
+	PerUnitMs       float64
+	Tasks           int
+	PatternOverhead float64
+	TTCSec          float64
+}
+
+// DispatchResult holds the sweep.
+type DispatchResult struct {
+	Rows []DispatchRow
+}
+
+// AblationDispatch quantifies how the client-side per-unit submission
+// cost drives the pattern overhead (the design reason EnTK submits in
+// bulk): the 192-task character-count app with 1, 10, and 50 ms per-unit
+// costs.
+func AblationDispatch() (*DispatchResult, error) {
+	const n = 192
+	res := &DispatchResult{}
+	for _, perUnit := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		v := vclock.NewVirtual()
+		rcfg := pilot.DefaultConfig()
+		rcfg.UMSubmitPerUnit = perUnit
+		h, err := core.NewResourceHandle("xsede.comet", n, 10000*time.Hour, core.Config{
+			Clock:   v,
+			Runtime: rcfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rep *core.Report
+		var runErr error
+		v.Run(func() {
+			rep, runErr = h.Execute(charCountPattern("sal", n))
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("ablation dispatch %v: %w", perUnit, runErr)
+		}
+		res.Rows = append(res.Rows, DispatchRow{
+			PerUnitMs:       float64(perUnit) / float64(time.Millisecond),
+			Tasks:           rep.Tasks,
+			PatternOverhead: rep.PatternOverhead.Seconds(),
+			TTCSec:          rep.TTC.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *DispatchResult) Table() string {
+	headers := []string{"per_unit_ms", "tasks", "pattern_ovh_s", "ttc_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{f1(w.PerUnitMs), di(w.Tasks), f2(w.PatternOverhead), f1(w.TTCSec)})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts the pattern overhead scales with the dispatch cost.
+func (r *DispatchResult) Check() error {
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].PatternOverhead <= r.Rows[i-1].PatternOverhead {
+			return fmt.Errorf("ablation dispatch: overhead did not grow with per-unit cost")
+		}
+	}
+	if len(r.Rows) < 2 {
+		return fmt.Errorf("ablation dispatch: need at least 2 rows")
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 4: agent placement (first-fit vs best-fit)
+
+// PlacementRow reports TTC for one agent placement strategy.
+type PlacementRow struct {
+	Placement string
+	TTCSec    float64
+}
+
+// PlacementResult holds the comparison.
+type PlacementResult struct {
+	Rows []PlacementRow
+}
+
+// AblationAgentScheduler compares first-fit and best-fit node packing in
+// the agent for a fragmentation-prone mix of wide and narrow tasks on a
+// small pilot.
+func AblationAgentScheduler() (*PlacementResult, error) {
+	res := &PlacementResult{}
+	for _, placement := range []pilot.Placement{pilot.FirstFit, pilot.BestFit} {
+		v := vclock.NewVirtual()
+		rcfg := pilot.DefaultConfig()
+		rcfg.Agent = placement
+		h, err := core.NewResourceHandle("lsu.supermic", 4*20, 10000*time.Hour, core.Config{
+			Clock:   v,
+			Runtime: rcfg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rep *core.Report
+		var runErr error
+		v.Run(func() {
+			rep, runErr = h.Execute(&core.EnsembleOfPipelines{
+				Pipelines: 24,
+				Stages:    1,
+				StageKernel: func(stage, pipe int) *core.Kernel {
+					// Mix of 12-core and 5-core tasks on 20-core nodes.
+					cores := 5
+					if pipe%2 == 0 {
+						cores = 12
+					}
+					return &core.Kernel{
+						Name:   "misc.sleep",
+						Params: map[string]float64{"seconds": 30},
+						Cores:  cores,
+						MPI:    true,
+					}
+				},
+			})
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("ablation placement %v: %w", placement, runErr)
+		}
+		res.Rows = append(res.Rows, PlacementRow{Placement: placement.String(), TTCSec: rep.TTC.Seconds()})
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *PlacementResult) Table() string {
+	headers := []string{"agent_placement", "ttc_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{w.Placement, f1(w.TTCSec)})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts both strategies complete and best-fit is no worse than
+// first-fit on this fragmentation-prone mix.
+func (r *PlacementResult) Check() error {
+	if len(r.Rows) != 2 {
+		return fmt.Errorf("ablation placement: want 2 rows, got %d", len(r.Rows))
+	}
+	ff, bf := r.Rows[0].TTCSec, r.Rows[1].TTCSec
+	if ff <= 0 || bf <= 0 {
+		return fmt.Errorf("ablation placement: non-positive TTC")
+	}
+	if bf > ff*1.05 {
+		return fmt.Errorf("ablation placement: best-fit (%.1fs) materially worse than first-fit (%.1fs)", bf, ff)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationExchangeMode(t *testing.T) {
+	res, err := AblationExchangeMode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Table())
+	}
+	if !strings.Contains(res.Table(), "pairwise") {
+		t.Error("table missing pairwise row")
+	}
+}
+
+func TestAblationBackfill(t *testing.T) {
+	res, err := AblationBackfill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Table())
+	}
+}
+
+func TestAblationDispatch(t *testing.T) {
+	res, err := AblationDispatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Table())
+	}
+}
+
+func TestAblationAgentScheduler(t *testing.T) {
+	res, err := AblationAgentScheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Table())
+	}
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+
+	"entk/internal/core"
+	"entk/internal/stats"
+)
+
+// Fig3Row is one bar group of Figure 3: one pattern at one tasks=cores
+// configuration of the character-count application on Comet.
+type Fig3Row struct {
+	Pattern         string
+	Tasks           int // files created/counted (per stage)
+	Cores           int
+	ExecSec         float64 // application execution time
+	CoreOverheadSec float64 // EnTK core overhead (constant)
+	PatternOverhead float64 // EnTK pattern overhead (grows with tasks)
+	TTCSec          float64
+}
+
+// Fig3Result holds the full sweep.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// charCountPattern builds the two-stage mkfile/ccount application for one
+// pattern type with n concurrent tasks per stage.
+func charCountPattern(pattern string, n int) core.Pattern {
+	mkfile := func() *core.Kernel {
+		return &core.Kernel{Name: "misc.mkfile", Params: map[string]float64{"size_mb": 10}}
+	}
+	ccount := func() *core.Kernel {
+		return &core.Kernel{Name: "misc.ccount", Params: map[string]float64{"size_mb": 10}}
+	}
+	switch pattern {
+	case "pipeline":
+		return &core.EnsembleOfPipelines{
+			Pipelines: n,
+			Stages:    2,
+			StageKernel: func(stage, pipe int) *core.Kernel {
+				if stage == 1 {
+					return mkfile()
+				}
+				return ccount()
+			},
+		}
+	case "sal":
+		return &core.SimulationAnalysisLoop{
+			Iterations:       1,
+			Simulations:      n,
+			Analyses:         n,
+			SimulationKernel: func(it, i int) *core.Kernel { return mkfile() },
+			AnalysisKernel:   func(it, i int) *core.Kernel { return ccount() },
+		}
+	case "ee":
+		// Two cycles carry the two stages; the exchange step between them
+		// is a negligible synthetic task, so all three patterns run the
+		// same 2n-task workload.
+		return &core.EnsembleExchange{
+			Replicas: n,
+			Cycles:   2,
+			SimulationKernel: func(cycle, r int) *core.Kernel {
+				if cycle == 1 {
+					return mkfile()
+				}
+				return ccount()
+			},
+			ExchangeKernel: func(cycle int) *core.Kernel {
+				return &core.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 0.1}}
+			},
+		}
+	default:
+		panic("unknown pattern " + pattern)
+	}
+}
+
+// Fig3Patterns lists the pattern labels in figure order.
+var Fig3Patterns = []string{"pipeline", "sal", "ee"}
+
+// Fig3 characterises the three execution patterns with the mkfile/ccount
+// application on Comet, varying tasks and cores together (1:1) over sizes
+// (default 24-192).
+func Fig3(sizes []int) (*Fig3Result, error) {
+	if sizes == nil {
+		sizes = Fig3Sizes
+	}
+	res := &Fig3Result{}
+	for _, pattern := range Fig3Patterns {
+		for _, n := range sizes {
+			pattern, n := pattern, n
+			rep, err := runOnFreshClock("xsede.comet", n, func() core.Pattern {
+				return charCountPattern(pattern, n)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s n=%d: %w", pattern, n, err)
+			}
+			res.Rows = append(res.Rows, Fig3Row{
+				Pattern:         pattern,
+				Tasks:           n,
+				Cores:           n,
+				ExecSec:         rep.ExecTime().Seconds(),
+				CoreOverheadSec: rep.CoreOverhead.Seconds(),
+				PatternOverhead: rep.PatternOverhead.Seconds(),
+				TTCSec:          rep.TTC.Seconds(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// byPattern filters rows for one pattern label.
+func (r *Fig3Result) byPattern(p string) []Fig3Row {
+	var out []Fig3Row
+	for _, row := range r.Rows {
+		if row.Pattern == p {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Table renders the figure's data.
+func (r *Fig3Result) Table() string {
+	headers := []string{"pattern", "tasks", "cores", "exec_s", "core_ovh_s", "pattern_ovh_s", "ttc_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			w.Pattern, di(w.Tasks), di(w.Cores),
+			f2(w.ExecSec), f2(w.CoreOverheadSec), f2(w.PatternOverhead), f2(w.TTCSec),
+		})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts the paper's qualitative findings: (1) execution times are
+// similar across patterns and configurations, (2) core overhead is
+// constant, (3) pattern overhead grows with the task count.
+func (r *Fig3Result) Check() error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("fig3: no rows")
+	}
+	// (1) Execution time flat across all rows: every task executes
+	// concurrently with the same workload.
+	var execs []float64
+	for _, w := range r.Rows {
+		execs = append(execs, w.ExecSec)
+	}
+	if spread, err := stats.RelSpread(execs); err != nil || spread > 0.5 {
+		return fmt.Errorf("fig3: execution times not similar across patterns: spread=%.2f err=%v", spread, err)
+	}
+	// (2) Core overhead constant.
+	var coreOvh []float64
+	for _, w := range r.Rows {
+		coreOvh = append(coreOvh, w.CoreOverheadSec)
+	}
+	if spread, err := stats.RelSpread(coreOvh); err != nil || spread > 0.2 {
+		return fmt.Errorf("fig3: core overhead not constant: spread=%.2f err=%v", spread, err)
+	}
+	// (3) Pattern overhead grows ~linearly with tasks for each pattern.
+	for _, p := range Fig3Patterns {
+		rows := r.byPattern(p)
+		var x, y []float64
+		for _, w := range rows {
+			x = append(x, float64(w.Tasks))
+			y = append(y, w.PatternOverhead)
+		}
+		slope, _, r2, err := stats.LinearFit(x, y)
+		if err != nil {
+			return fmt.Errorf("fig3 %s: %v", p, err)
+		}
+		if slope <= 0 || r2 < 0.95 {
+			return fmt.Errorf("fig3 %s: pattern overhead not linear in tasks (slope=%.4f r2=%.3f)", p, slope, r2)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"entk/internal/core"
+	"entk/internal/stats"
+)
+
+// Fig4Row is one configuration of Figure 4: the Gromacs-LSDMap SAL
+// application on Comet with tasks=cores.
+type Fig4Row struct {
+	Tasks           int
+	Cores           int
+	SimSec          float64 // Gromacs stage span
+	AnalysisSec     float64 // LSDMap stage span
+	CoreOverheadSec float64
+	PatternOverhead float64
+	TTCSec          float64
+}
+
+// Fig4Result holds the sweep plus the matching Fig3 overheads for the
+// kernel-invariance comparison.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Fig4 validates kernel plugins: the SAL pattern with real MD kernels
+// (Gromacs simulations, one LSDMap analysis) over the same 24-192 range
+// as Figure 3. The toolkit overheads must match Figure 3's — changing the
+// kernels does not change the toolkit's behaviour.
+func Fig4(sizes []int) (*Fig4Result, error) {
+	if sizes == nil {
+		sizes = Fig4Sizes
+	}
+	res := &Fig4Result{}
+	for _, n := range sizes {
+		n := n
+		rep, err := runOnFreshClock("xsede.comet", n, func() core.Pattern {
+			return &core.SimulationAnalysisLoop{
+				Iterations:  1,
+				Simulations: n,
+				Analyses:    1,
+				SimulationKernel: func(it, i int) *core.Kernel {
+					return &core.Kernel{
+						Name:   "md.gromacs",
+						Params: map[string]float64{"atoms": alanineAtoms, "ps": salPS},
+					}
+				},
+				AnalysisKernel: func(it, i int) *core.Kernel {
+					return &core.Kernel{
+						Name:   "ana.lsdmap",
+						Params: map[string]float64{"points": float64(n)},
+					}
+				},
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig4 n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, Fig4Row{
+			Tasks:           n,
+			Cores:           n,
+			SimSec:          rep.Phase("simulation").Span.Seconds(),
+			AnalysisSec:     rep.Phase("analysis").Span.Seconds(),
+			CoreOverheadSec: rep.CoreOverhead.Seconds(),
+			PatternOverhead: rep.PatternOverhead.Seconds(),
+			TTCSec:          rep.TTC.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the figure's data.
+func (r *Fig4Result) Table() string {
+	headers := []string{"tasks", "cores", "sim_s", "analysis_s", "core_ovh_s", "pattern_ovh_s", "ttc_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			di(w.Tasks), di(w.Cores), f2(w.SimSec), f2(w.AnalysisSec),
+			f2(w.CoreOverheadSec), f2(w.PatternOverhead), f2(w.TTCSec),
+		})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts the paper's finding: overheads with science kernels match
+// the overheads with synthetic kernels (Figure 3) on the same range —
+// kernel plugins do not perturb the toolkit's overhead.
+func (r *Fig4Result) Check(fig3 *Fig3Result) error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("fig4: no rows")
+	}
+	var coreOvh []float64
+	for _, w := range r.Rows {
+		coreOvh = append(coreOvh, w.CoreOverheadSec)
+	}
+	if spread, err := stats.RelSpread(coreOvh); err != nil || spread > 0.2 {
+		return fmt.Errorf("fig4: core overhead not constant: spread=%.2f err=%v", spread, err)
+	}
+	if fig3 != nil {
+		// Compare per-size pattern overheads against Fig3's SAL rows.
+		salRows := fig3.byPattern("sal")
+		for _, w := range r.Rows {
+			for _, s := range salRows {
+				// Fig3's SAL runs 2n tasks for n files; Fig4 runs n+1.
+				// Compare per-task overhead rates instead of totals.
+				if s.Tasks != w.Tasks {
+					continue
+				}
+				rate3 := s.PatternOverhead / float64(2*s.Tasks)
+				rate4 := w.PatternOverhead / float64(w.Tasks+1)
+				if rate3 <= 0 || math.Abs(rate4-rate3)/rate3 > 0.25 {
+					return fmt.Errorf("fig4: per-task overhead %g differs from fig3's %g at n=%d",
+						rate4, rate3, w.Tasks)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+
+	"entk/internal/core"
+	"entk/internal/stats"
+)
+
+// EEPoint is one configuration of the EE scaling experiments (Figures 5
+// and 6): Amber temperature-exchange REMD of alanine dipeptide on
+// SuperMIC, 6 ps per replica per cycle, one core per replica.
+type EEPoint struct {
+	Replicas    int
+	Cores       int
+	SimSec      float64 // simulation stage span
+	ExchangeSec float64 // exchange stage span
+	TTCSec      float64
+}
+
+// EEResult holds a strong- or weak-scaling sweep.
+type EEResult struct {
+	Kind string // "strong" or "weak"
+	Rows []EEPoint
+}
+
+// eePoint runs one EE configuration.
+func eePoint(replicas, cores int) (EEPoint, error) {
+	rep, err := runOnFreshClock("lsu.supermic", cores, func() core.Pattern {
+		return &core.EnsembleExchange{
+			Replicas: replicas,
+			Cycles:   1,
+			SimulationKernel: func(cycle, r int) *core.Kernel {
+				return &core.Kernel{
+					Name:   "md.amber",
+					Params: map[string]float64{"atoms": alanineAtoms, "ps": eePS},
+				}
+			},
+			ExchangeKernel: func(cycle int) *core.Kernel {
+				return &core.Kernel{
+					Name:   "md.remd_exchange",
+					Params: map[string]float64{"replicas": float64(replicas)},
+				}
+			},
+		}
+	})
+	if err != nil {
+		return EEPoint{}, err
+	}
+	return EEPoint{
+		Replicas:    replicas,
+		Cores:       cores,
+		SimSec:      rep.Phase("simulation").Span.Seconds(),
+		ExchangeSec: rep.Phase("exchange").Span.Seconds(),
+		TTCSec:      rep.TTC.Seconds(),
+	}, nil
+}
+
+// Fig5 is the EE strong-scaling experiment: 2560 replicas over 20-2560
+// cores on SuperMIC.
+func Fig5(cores []int) (*EEResult, error) {
+	if cores == nil {
+		cores = Fig5Cores
+	}
+	res := &EEResult{Kind: "strong"}
+	for _, c := range cores {
+		p, err := eePoint(2560, c)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 cores=%d: %w", c, err)
+		}
+		res.Rows = append(res.Rows, p)
+	}
+	return res, nil
+}
+
+// Fig6 is the EE weak-scaling experiment: replicas = cores from 20 to
+// 2560 on SuperMIC.
+func Fig6(sizes []int) (*EEResult, error) {
+	if sizes == nil {
+		sizes = Fig6Sizes
+	}
+	res := &EEResult{Kind: "weak"}
+	for _, n := range sizes {
+		p, err := eePoint(n, n)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, p)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *EEResult) Table() string {
+	headers := []string{"replicas", "cores", "sim_s", "exchange_s", "ttc_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			di(w.Replicas), di(w.Cores), f1(w.SimSec), f2(w.ExchangeSec), f1(w.TTCSec),
+		})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts the paper's findings. Strong scaling (Fig. 5): the
+// simulation time halves as cores double (log-log slope ~ -1) while the
+// exchange time stays constant. Weak scaling (Fig. 6): the simulation
+// time stays roughly constant while the exchange time grows linearly with
+// the number of replicas.
+func (r *EEResult) Check() error {
+	if len(r.Rows) < 2 {
+		return fmt.Errorf("ee %s: need at least two rows", r.Kind)
+	}
+	var cores, reps, sim, exch []float64
+	for _, w := range r.Rows {
+		cores = append(cores, float64(w.Cores))
+		reps = append(reps, float64(w.Replicas))
+		sim = append(sim, w.SimSec)
+		exch = append(exch, w.ExchangeSec)
+	}
+	switch r.Kind {
+	case "strong":
+		slope, err := stats.LogLogSlope(cores, sim)
+		if err != nil {
+			return err
+		}
+		if slope > -0.85 || slope < -1.15 {
+			return fmt.Errorf("fig5: simulation log-log slope %.3f, want ~ -1", slope)
+		}
+		if spread, err := stats.RelSpread(exch); err != nil || spread > 0.05 {
+			return fmt.Errorf("fig5: exchange time not constant: spread=%.3f err=%v", spread, err)
+		}
+	case "weak":
+		if spread, err := stats.RelSpread(sim); err != nil || spread > 0.30 {
+			return fmt.Errorf("fig6: simulation time not flat: spread=%.3f err=%v", spread, err)
+		}
+		slope, _, r2, err := stats.LinearFit(reps, exch)
+		if err != nil {
+			return err
+		}
+		if slope <= 0 || r2 < 0.99 {
+			return fmt.Errorf("fig6: exchange not linear in replicas (slope=%.5f r2=%.4f)", slope, r2)
+		}
+	default:
+		return fmt.Errorf("ee: unknown kind %q", r.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"fmt"
+
+	"entk/internal/core"
+	"entk/internal/stats"
+)
+
+// SALPoint is one configuration of the SAL scaling experiments (Figures
+// 7-9): Amber-CoCo of alanine dipeptide on Stampede.
+type SALPoint struct {
+	Simulations int
+	CoresPerSim int
+	Cores       int // total pilot cores
+	SimSec      float64
+	AnalysisSec float64
+	TTCSec      float64
+}
+
+// SALResult holds one sweep.
+type SALResult struct {
+	Kind string // "strong", "weak", or "mpi"
+	Rows []SALPoint
+}
+
+// salPoint runs one Amber-CoCo SAL configuration.
+func salPoint(sims, coresPerSim, pilotCores int, ps float64) (SALPoint, error) {
+	rep, err := runOnFreshClock("xsede.stampede", pilotCores, func() core.Pattern {
+		return &core.SimulationAnalysisLoop{
+			Iterations:  1,
+			Simulations: sims,
+			Analyses:    1,
+			SimulationKernel: func(it, i int) *core.Kernel {
+				return &core.Kernel{
+					Name:   "md.amber",
+					Params: map[string]float64{"atoms": alanineAtoms, "ps": ps},
+					Cores:  coresPerSim,
+					MPI:    coresPerSim > 1,
+				}
+			},
+			AnalysisKernel: func(it, i int) *core.Kernel {
+				// CoCo runs in serial and reads every simulation.
+				return &core.Kernel{
+					Name:   "ana.coco",
+					Params: map[string]float64{"sims": float64(sims)},
+				}
+			},
+		}
+	})
+	if err != nil {
+		return SALPoint{}, err
+	}
+	return SALPoint{
+		Simulations: sims,
+		CoresPerSim: coresPerSim,
+		Cores:       pilotCores,
+		SimSec:      rep.Phase("simulation").Span.Seconds(),
+		AnalysisSec: rep.Phase("analysis").Span.Seconds(),
+		TTCSec:      rep.TTC.Seconds(),
+	}, nil
+}
+
+// Fig7 is the SAL strong-scaling experiment: 1024 simulations of 0.6 ps,
+// one core each, over 64-1024 pilot cores on Stampede.
+func Fig7(cores []int) (*SALResult, error) {
+	if cores == nil {
+		cores = Fig7Cores
+	}
+	res := &SALResult{Kind: "strong"}
+	for _, c := range cores {
+		p, err := salPoint(1024, 1, c, salPS)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 cores=%d: %w", c, err)
+		}
+		res.Rows = append(res.Rows, p)
+	}
+	return res, nil
+}
+
+// Fig8 is the SAL weak-scaling experiment: simulations = cores from 64 to
+// 4096 on Stampede.
+func Fig8(sizes []int) (*SALResult, error) {
+	if sizes == nil {
+		sizes = Fig8Sizes
+	}
+	res := &SALResult{Kind: "weak"}
+	for _, n := range sizes {
+		p, err := salPoint(n, 1, n, salPS)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, p)
+	}
+	return res, nil
+}
+
+// Fig9 is the MPI-capability experiment: 64 concurrent simulations of
+// 6 ps (ten times Figure 7's duration), with 1, 16, 32, and 64 cores per
+// simulation (64-4096 total cores) on Stampede.
+func Fig9(coresPerSim []int) (*SALResult, error) {
+	if coresPerSim == nil {
+		coresPerSim = Fig9CPS
+	}
+	res := &SALResult{Kind: "mpi"}
+	for _, cps := range coresPerSim {
+		p, err := salPoint(64, cps, 64*cps, eePS)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 cps=%d: %w", cps, err)
+		}
+		res.Rows = append(res.Rows, p)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *SALResult) Table() string {
+	headers := []string{"sims", "cores/sim", "cores", "sim_s", "analysis_s", "ttc_s"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			di(w.Simulations), di(w.CoresPerSim), di(w.Cores),
+			f1(w.SimSec), f1(w.AnalysisSec), f1(w.TTCSec),
+		})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts the paper's findings. Strong (Fig. 7): simulation time
+// decreases linearly with cores; serial analysis time constant. Weak
+// (Fig. 8): simulation time constant; analysis grows with simulations.
+// MPI (Fig. 9): per-simulation execution time drops as cores/sim grows.
+func (r *SALResult) Check() error {
+	if len(r.Rows) < 2 {
+		return fmt.Errorf("sal %s: need at least two rows", r.Kind)
+	}
+	var cores, sims, sim, ana []float64
+	for _, w := range r.Rows {
+		cores = append(cores, float64(w.Cores))
+		sims = append(sims, float64(w.Simulations))
+		sim = append(sim, w.SimSec)
+		ana = append(ana, w.AnalysisSec)
+	}
+	switch r.Kind {
+	case "strong":
+		slope, err := stats.LogLogSlope(cores, sim)
+		if err != nil {
+			return err
+		}
+		if slope > -0.80 || slope < -1.20 {
+			return fmt.Errorf("fig7: simulation log-log slope %.3f, want ~ -1", slope)
+		}
+		if spread, err := stats.RelSpread(ana); err != nil || spread > 0.05 {
+			return fmt.Errorf("fig7: analysis time not constant: spread=%.3f err=%v", spread, err)
+		}
+	case "weak":
+		if spread, err := stats.RelSpread(sim); err != nil || spread > 0.35 {
+			return fmt.Errorf("fig8: simulation time not flat: spread=%.3f err=%v", spread, err)
+		}
+		slope, _, r2, err := stats.LinearFit(sims, ana)
+		if err != nil {
+			return err
+		}
+		if slope <= 0 || r2 < 0.99 {
+			return fmt.Errorf("fig8: analysis not linear in sims (slope=%.5f r2=%.4f)", slope, r2)
+		}
+	case "mpi":
+		for i := 1; i < len(r.Rows); i++ {
+			if r.Rows[i].SimSec >= r.Rows[i-1].SimSec {
+				return fmt.Errorf("fig9: sim time did not drop from %d to %d cores/sim (%.1fs -> %.1fs)",
+					r.Rows[i-1].CoresPerSim, r.Rows[i].CoresPerSim,
+					r.Rows[i-1].SimSec, r.Rows[i].SimSec)
+			}
+		}
+		// Speedup at the largest configuration should be substantial
+		// (the paper reports a linear drop).
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		speedup := first.SimSec / last.SimSec
+		ratio := float64(last.CoresPerSim) / float64(first.CoresPerSim)
+		if speedup < 0.5*ratio {
+			return fmt.Errorf("fig9: speedup %.1fx at %.0fx cores (want >= %.1fx)",
+				speedup, ratio, 0.5*ratio)
+		}
+	default:
+		return fmt.Errorf("sal: unknown kind %q", r.Kind)
+	}
+	return nil
+}

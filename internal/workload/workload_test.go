@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig3SmallSweep(t *testing.T) {
+	res, err := Fig3([]int{24, 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // 3 patterns x 2 sizes
+		t.Fatalf("%d rows, want 6", len(res.Rows))
+	}
+	tbl := res.Table()
+	for _, want := range []string{"pipeline", "sal", "ee", "core_ovh_s"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestFig3FullCheck(t *testing.T) {
+	res, err := Fig3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("fig3 shape check: %v\n%s", err, res.Table())
+	}
+}
+
+func TestFig4Check(t *testing.T) {
+	fig3, err := Fig3(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fig4(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(fig3); err != nil {
+		t.Fatalf("fig4 shape check: %v\n%s", err, res.Table())
+	}
+	if !strings.Contains(res.Table(), "sim_s") {
+		t.Error("fig4 table malformed")
+	}
+}
+
+func TestFig5StrongScalingShape(t *testing.T) {
+	// Reduced sweep: 256 replicas over 32-256 cores keeps the ratio
+	// range of the full experiment at a fraction of the cost.
+	res, err := Fig5(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("fig5 shape check: %v\n%s", err, res.Table())
+	}
+	// Sanity: the largest configuration is faster than the smallest.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.SimSec >= first.SimSec {
+		t.Errorf("no strong scaling: %v -> %v", first.SimSec, last.SimSec)
+	}
+}
+
+func TestFig6WeakScalingShape(t *testing.T) {
+	res, err := Fig6(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("fig6 shape check: %v\n%s", err, res.Table())
+	}
+	// Exchange time grows with replicas.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.ExchangeSec <= first.ExchangeSec {
+		t.Errorf("exchange did not grow: %v -> %v", first.ExchangeSec, last.ExchangeSec)
+	}
+}
+
+func TestFig7StrongScalingShape(t *testing.T) {
+	res, err := Fig7(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("fig7 shape check: %v\n%s", err, res.Table())
+	}
+}
+
+func TestFig8WeakScalingShape(t *testing.T) {
+	res, err := Fig8(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("fig8 shape check: %v\n%s", err, res.Table())
+	}
+}
+
+func TestFig9MPIShape(t *testing.T) {
+	res, err := Fig9(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("fig9 shape check: %v\n%s", err, res.Table())
+	}
+}
+
+func TestEEResultCheckRejectsBadData(t *testing.T) {
+	bad := &EEResult{Kind: "strong", Rows: []EEPoint{
+		{Replicas: 10, Cores: 10, SimSec: 100, ExchangeSec: 1},
+		{Replicas: 10, Cores: 20, SimSec: 100, ExchangeSec: 1}, // no scaling
+	}}
+	if err := bad.Check(); err == nil {
+		t.Error("flat strong scaling accepted")
+	}
+	if err := (&EEResult{Kind: "weak"}).Check(); err == nil {
+		t.Error("empty result accepted")
+	}
+	if err := (&EEResult{Kind: "x", Rows: make([]EEPoint, 2)}).Check(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSALResultCheckRejectsBadData(t *testing.T) {
+	bad := &SALResult{Kind: "mpi", Rows: []SALPoint{
+		{CoresPerSim: 1, SimSec: 10},
+		{CoresPerSim: 16, SimSec: 20}, // got slower
+	}}
+	if err := bad.Check(); err == nil {
+		t.Error("regressing MPI accepted")
+	}
+	if err := (&SALResult{Kind: "strong"}).Check(); err == nil {
+		t.Error("empty result accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package entk
+
+import (
+	"sort"
+
+	"entk/internal/cluster"
+)
+
+// Machine re-exports the platform model so applications can register
+// custom resources.
+type Machine = cluster.Machine
+
+// resourceNames returns the sorted registered machine labels.
+func resourceNames() []string {
+	names := cluster.Names()
+	sort.Strings(names)
+	return names
+}
+
+// RegisterResource installs a custom machine definition.
+func RegisterResource(m *Machine) error { return cluster.Register(m) }
+
+// LookupResource returns the machine registered under name.
+func LookupResource(name string) (*Machine, error) { return cluster.Lookup(name) }
