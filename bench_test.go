@@ -11,7 +11,6 @@ import (
 	"testing"
 	"time"
 
-	"entk"
 	"entk/internal/stats"
 	"entk/internal/vclock"
 	"entk/internal/workload"
@@ -270,29 +269,49 @@ func BenchmarkVirtualClockTimers(b *testing.B) {
 }
 
 // BenchmarkPilotUnitThroughput measures how many compute units per second
-// (wall time) the simulated runtime pushes through a pilot.
+// (wall time) the simulated runtime pushes through a pilot, on the
+// default indexed agent scheduler. The workload is defined once in
+// internal/workload so entk-bench records the same thing.
 func BenchmarkPilotUnitThroughput(b *testing.B) {
-	const batch = 512
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		v := entk.NewClock()
-		h, err := entk.NewResourceHandle("xsede.stampede", 256, 1000*time.Hour, entk.Config{Clock: v})
+		if err := workload.PilotThroughput(false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(workload.ThroughputUnits)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkPilotUnitThroughputRescan is the same workload on the seed's
+// rescan scheduler (pilot.Config.Rescan) — the in-tree A/B for the
+// indexed scheduler's speedup. Placements and simulated time are
+// identical (TestIndexedSchedulerReportParity); only wall time differs.
+func BenchmarkPilotUnitThroughputRescan(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := workload.PilotThroughput(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(workload.ThroughputUnits)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkStress10k runs the stress tier's hardest point — 10240
+// two-stage pipelines bulk-submitted to an 8192-core pilot — and reports
+// simulated units per wall second. This is where the indexed scheduler's
+// asymptotic win over the O(pending x nodes) rescan shows up undiluted.
+func BenchmarkStress10k(b *testing.B) {
+	b.ReportAllocs()
+	var units int
+	for i := 0; i < b.N; i++ {
+		res, err := workload.StressEoP([]int{10240})
 		if err != nil {
 			b.Fatal(err)
 		}
-		var runErr error
-		v.Run(func() {
-			_, runErr = h.Execute(&entk.EnsembleOfPipelines{
-				Pipelines: batch,
-				Stages:    1,
-				StageKernel: func(int, int) *entk.Kernel {
-					return &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 1}}
-				},
-			})
-		})
-		if runErr != nil {
-			b.Fatal(runErr)
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
 		}
+		units = res.Rows[0].Tasks
 	}
-	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
 }

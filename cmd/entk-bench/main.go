@@ -9,13 +9,18 @@
 //	entk-bench                 # all figures and ablations
 //	entk-bench -fig 5          # one figure
 //	entk-bench -ablation all   # ablations only
+//	entk-bench -stress         # the beyond-paper 10k-task stress tier
+//	entk-bench -stress -json BENCH_PR1.json
+//	                           # also record throughput + stress metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"entk/internal/workload"
 )
@@ -23,10 +28,12 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure number to run (3-9); 0 runs everything")
 	ablation := flag.String("ablation", "", "ablation to run: exchange, backfill, dispatch, placement, or all")
+	stress := flag.Bool("stress", false, "run the 10k-task stress tier (EE weak scaling + bulk EoP)")
+	jsonPath := flag.String("json", "", "write throughput and stress metrics to this JSON file")
 	flag.Parse()
 
 	log.SetFlags(0)
-	runAll := *fig == 0 && *ablation == ""
+	runAll := *fig == 0 && *ablation == "" && !*stress && *jsonPath == ""
 
 	figures := map[int]func() error{
 		3: func() error { return printFig3() },
@@ -69,6 +76,114 @@ func main() {
 			log.Fatalf("entk-bench: %v", err)
 		}
 	}
+
+	if *stress || *jsonPath != "" {
+		if err := runStress(*jsonPath); err != nil {
+			log.Fatalf("entk-bench: stress: %v", err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stress tier and metrics recording
+
+// throughputMetric is one wall-clock measurement of the unit-throughput
+// workload (the BenchmarkPilotUnitThroughput configuration).
+type throughputMetric struct {
+	Scheduler string  `json:"scheduler"`
+	Units     int     `json:"units"`
+	Cores     int     `json:"cores"`
+	Runs      int     `json:"runs"`
+	UnitsPerS float64 `json:"units_per_s_wall"`
+}
+
+// benchMetrics is the schema of the BENCH_PR<N>.json trajectory files.
+type benchMetrics struct {
+	Generated  string                    `json:"generated"`
+	Notes      string                    `json:"notes"`
+	Throughput []throughputMetric        `json:"pilot_unit_throughput"`
+	StressEoP  []workload.StressEoPPoint `json:"stress_eop"`
+	StressEE   []workload.StressEEPoint  `json:"stress_ee_weak"`
+}
+
+// metricsNotes documents how to read the numbers.
+const metricsNotes = "wall-clock numbers from the machine that generated this file; " +
+	"indexed vs rescan swap only the placement index (both run the incremental agent), " +
+	"so they differ most under fragmented mixed-size queues — the seed-vs-PR comparison " +
+	"per PR is recorded in CHANGES.md"
+
+// measureThroughput runs workload.PilotThroughput — the exact workload
+// BenchmarkPilotUnitThroughput times — `runs` times on the selected
+// scheduler and returns wall units/s.
+func measureThroughput(rescan bool, runs int) (throughputMetric, error) {
+	name := "indexed"
+	if rescan {
+		name = "rescan"
+	}
+	t0 := time.Now()
+	for i := 0; i < runs; i++ {
+		if err := workload.PilotThroughput(rescan); err != nil {
+			return throughputMetric{}, err
+		}
+	}
+	return throughputMetric{
+		Scheduler: name,
+		Units:     workload.ThroughputUnits,
+		Cores:     workload.ThroughputCores,
+		Runs:      runs,
+		UnitsPerS: float64(workload.ThroughputUnits*runs) / time.Since(t0).Seconds(),
+	}, nil
+}
+
+// runStress executes the stress tier, prints its tables, and (when
+// jsonPath is set) records the metrics file that tracks the perf
+// trajectory across PRs.
+func runStress(jsonPath string) error {
+	eop, err := workload.StressEoP(nil)
+	if err != nil {
+		return err
+	}
+	if err := eop.Check(); err != nil {
+		return err
+	}
+	fmt.Println("Stress: EoP bulk sweep (2 stages, 8192-core sim.stress8k)")
+	fmt.Println(eop.Table())
+
+	ee, err := workload.StressEE(nil)
+	if err != nil {
+		return err
+	}
+	if err := ee.Check(); err != nil {
+		return err
+	}
+	fmt.Println("Stress: EE weak scaling + oversubscribed tail (sim.stress8k)")
+	fmt.Println(ee.Table())
+
+	if jsonPath == "" {
+		return nil
+	}
+	metrics := benchMetrics{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Notes:     metricsNotes,
+		StressEoP: eop.Rows,
+		StressEE:  ee.Rows,
+	}
+	for _, rescan := range []bool{false, true} {
+		m, err := measureThroughput(rescan, 20)
+		if err != nil {
+			return err
+		}
+		metrics.Throughput = append(metrics.Throughput, m)
+	}
+	buf, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("metrics written to %s\n", jsonPath)
+	return nil
 }
 
 func printFig3() error {

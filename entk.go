@@ -97,6 +97,20 @@ const (
 	StageDownload = stage.Download
 )
 
+// Agent placement policies (RuntimeConfig.Agent): how the pilot agent
+// packs units onto nodes and disciplines its queue.
+const (
+	AgentFirstFit = pilot.FirstFit
+	AgentBestFit  = pilot.BestFit
+	AgentBackfill = pilot.Backfill
+)
+
+// Unit-to-pilot scheduling policies (RuntimeConfig.Scheduler).
+const (
+	ScheduleRoundRobin  = pilot.RoundRobin
+	ScheduleLeastLoaded = pilot.LeastLoaded
+)
+
 // NewClock returns the virtual clock a simulation runs under.
 func NewClock() *Clock { return vclock.NewVirtual() }
 

@@ -1,0 +1,3 @@
+module entk
+
+go 1.24

@@ -119,6 +119,24 @@ var (
 		QueueWaitPerNode:  600 * time.Millisecond,
 	}
 
+	// Stress8k is a synthetic 8192-core machine (512 nodes x 16 cores)
+	// for the beyond-paper stress tier: latencies sit between Stampede's
+	// and Local's so 10k-task sweeps exercise the schedulers hard without
+	// queue-wait noise dominating the decomposition.
+	Stress8k = Machine{
+		Name:              "sim.stress8k",
+		Nodes:             512,
+		CoresPerNode:      16,
+		MemPerNodeGB:      64,
+		AgentBootTime:     30 * time.Second,
+		TaskLaunchLatency: 50 * time.Millisecond,
+		NetLatency:        10 * time.Millisecond,
+		FSBandwidthMBps:   1000,
+		FSLatency:         time.Millisecond,
+		QueueWaitBase:     30 * time.Second,
+		QueueWaitPerNode:  100 * time.Millisecond,
+	}
+
 	// Local is a workstation-scale machine for examples and quick tests:
 	// no queue wait, tiny latencies.
 	Local = Machine{
@@ -141,6 +159,7 @@ var registry = map[string]*Machine{
 	Comet.Name:    &Comet,
 	Stampede.Name: &Stampede,
 	SuperMIC.Name: &SuperMIC,
+	Stress8k.Name: &Stress8k,
 	Local.Name:    &Local,
 }
 

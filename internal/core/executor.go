@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"entk/internal/pad"
 	"entk/internal/pilot"
 	"entk/internal/vclock"
 )
@@ -26,6 +27,17 @@ func (e *PatternError) Error() string {
 type taskSpec struct {
 	name string
 	k    *Kernel
+}
+
+// eopTaskName formats "pipeNNNN.stageMM" (pad: task naming sits on the
+// per-unit hot path).
+func eopTaskName(pipe, stage int) string {
+	return "pipe" + pad.Int(pipe, 4) + ".stage" + pad.Int(stage, 2)
+}
+
+// eeTaskName formats "cycleNNN.replicaNNNNN".
+func eeTaskName(cycle, replica int) string {
+	return "cycle" + pad.Int(cycle, 3) + ".replica" + pad.Int(replica, 5)
 }
 
 // executor is the execution plugin: it binds a pattern's kernels into
@@ -101,6 +113,20 @@ func (ex *executor) run() error {
 // submits them under the submission lock, charging the elapsed time to
 // the pattern overhead.
 func (ex *executor) submitTracked(specs []taskSpec, attempts []int) ([]*pilot.ComputeUnit, error) {
+	return ex.submitVia(specs, attempts, ex.um.Submit)
+}
+
+// submitStreamedTracked is submitTracked over the unit manager's
+// streaming path: units are dispatched one by one as their client-side
+// submission cost elapses, instead of all at once after the whole batch's
+// cost. It reproduces the event timing of N sequential single-unit
+// submissions while paying the client bookkeeping only once.
+func (ex *executor) submitStreamedTracked(specs []taskSpec, attempts []int) ([]*pilot.ComputeUnit, error) {
+	return ex.submitVia(specs, attempts, ex.um.SubmitStreamed)
+}
+
+func (ex *executor) submitVia(specs []taskSpec, attempts []int,
+	submit func([]pilot.UnitDescription) ([]*pilot.ComputeUnit, error)) ([]*pilot.ComputeUnit, error) {
 	descs := make([]pilot.UnitDescription, len(specs))
 	for i, s := range specs {
 		if err := s.k.Validate(); err != nil {
@@ -110,7 +136,7 @@ func (ex *executor) submitTracked(specs []taskSpec, attempts []int) ([]*pilot.Co
 	}
 	ex.subLock.Acquire(1)
 	t0 := ex.v.Now()
-	units, err := ex.um.Submit(descs)
+	units, err := submit(descs)
 	dt := ex.v.Now() - t0
 	ex.subLock.Release(1)
 	if err != nil {
@@ -125,6 +151,16 @@ func (ex *executor) submitTracked(specs []taskSpec, attempts []int) ([]*pilot.Co
 // runTasks executes specs to completion with per-task retry, returning
 // the successful unit for each spec (in order).
 func (ex *executor) runTasks(specs []taskSpec) ([]*pilot.ComputeUnit, error) {
+	return ex.runTasksVia(specs, ex.submitTracked)
+}
+
+// runTasksStreamed is runTasks over the streaming submission path.
+func (ex *executor) runTasksStreamed(specs []taskSpec) ([]*pilot.ComputeUnit, error) {
+	return ex.runTasksVia(specs, ex.submitStreamedTracked)
+}
+
+func (ex *executor) runTasksVia(specs []taskSpec,
+	submit func([]taskSpec, []int) ([]*pilot.ComputeUnit, error)) ([]*pilot.ComputeUnit, error) {
 	if len(specs) == 0 {
 		return nil, nil
 	}
@@ -146,7 +182,7 @@ func (ex *executor) runTasks(specs []taskSpec) ([]*pilot.ComputeUnit, error) {
 			batch[i] = specs[idx]
 			att[i] = attempts[idx]
 		}
-		units, err := ex.submitTracked(batch, att)
+		units, err := submit(batch, att)
 		if err != nil {
 			return nil, err
 		}
@@ -226,6 +262,12 @@ func (ex *executor) runPhase(name string, specs []taskSpec) ([]*pilot.ComputeUni
 // Ensemble of Pipelines plugin
 
 func (ex *executor) runEoP(p *EnsembleOfPipelines) error {
+	if p.BulkStages {
+		return ex.runEoPBulk(p)
+	}
+	if p.Stages == 1 {
+		return ex.runEoPSingleStage(p)
+	}
 	// Pipelines execute independently; stages within a pipeline are
 	// sequential. Stage statistics are aggregated after the fact so that
 	// each stage appears once in the report.
@@ -244,7 +286,7 @@ func (ex *executor) runEoP(p *EnsembleOfPipelines) error {
 					// A nil kernel ends this pipeline early (branching).
 					return
 				}
-				name := fmt.Sprintf("pipe%04d.stage%02d", pl, st)
+				name := eopTaskName(pl, st)
 				units, err := ex.runTasks([]taskSpec{{name, k}})
 				if err != nil {
 					mu.Lock()
@@ -274,6 +316,72 @@ func (ex *executor) runEoP(p *EnsembleOfPipelines) error {
 	return firstErr
 }
 
+// runEoPSingleStage executes a one-stage ensemble without per-pipeline
+// goroutines: with no inter-stage ordering to enforce, the tasks are
+// independent and can be submitted as one stream. The streaming path
+// dispatches unit i after i+1 client-side submission costs, exactly when
+// the default mode's i-th serialized single-unit submission would have,
+// so the simulated timeline of a clean run is unchanged — only the
+// client bookkeeping (goroutines, per-call locking) is saved. One
+// intended semantic difference: failed units are resubmitted per wave
+// (after the whole batch is waited on), like every other multi-task
+// phase (EE, SAL), instead of the seed's per-pipeline immediate retry.
+// This is the hot path of the unit-throughput benchmark and the EoP
+// stress tier.
+func (ex *executor) runEoPSingleStage(p *EnsembleOfPipelines) error {
+	specs := make([]taskSpec, 0, p.Pipelines)
+	for pl := 1; pl <= p.Pipelines; pl++ {
+		k := p.StageKernel(1, pl)
+		if k == nil {
+			continue // branching: this pipeline ends before stage 1
+		}
+		specs = append(specs, taskSpec{eopTaskName(pl, 1), k})
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	units, err := ex.runTasksStreamed(specs)
+	if len(units) > 0 {
+		span, busy, n := unitStats(units)
+		ex.mu.Lock()
+		ex.phases.add("stage.1", span, busy, n)
+		ex.mu.Unlock()
+	}
+	return err
+}
+
+// runEoPBulk executes the ensemble with a barrier between stages: stage s
+// of every still-live pipeline is one bulk submission (one tracked call),
+// the way EnTK submits a stage's CU descriptions with a single
+// submit_units. Selected by EnsembleOfPipelines.BulkStages.
+func (ex *executor) runEoPBulk(p *EnsembleOfPipelines) error {
+	live := make([]bool, p.Pipelines+1)
+	for pl := 1; pl <= p.Pipelines; pl++ {
+		live[pl] = true
+	}
+	for st := 1; st <= p.Stages; st++ {
+		specs := make([]taskSpec, 0, p.Pipelines)
+		for pl := 1; pl <= p.Pipelines; pl++ {
+			if !live[pl] {
+				continue
+			}
+			k := p.StageKernel(st, pl)
+			if k == nil {
+				live[pl] = false // branching: pipeline ends early
+				continue
+			}
+			specs = append(specs, taskSpec{eopTaskName(pl, st), k})
+		}
+		if len(specs) == 0 {
+			return nil
+		}
+		if _, err := ex.runPhase(fmt.Sprintf("stage.%d", st), specs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // Ensemble Exchange plugin (collective mode)
 
@@ -282,7 +390,7 @@ func (ex *executor) runEECollective(p *EnsembleExchange) error {
 		specs := make([]taskSpec, p.Replicas)
 		for r := 1; r <= p.Replicas; r++ {
 			specs[r-1] = taskSpec{
-				name: fmt.Sprintf("cycle%03d.replica%05d", cycle, r),
+				name: eeTaskName(cycle, r),
 				k:    p.SimulationKernel(cycle, r),
 			}
 		}
@@ -338,7 +446,7 @@ func (ex *executor) runEEPairwise(p *EnsembleExchange) error {
 		ex.v.Go(func() {
 			defer wg.Done()
 			for cycle := 1; cycle <= p.Cycles; cycle++ {
-				name := fmt.Sprintf("cycle%03d.replica%05d", cycle, r)
+				name := eeTaskName(cycle, r)
 				units, err := ex.runTasks([]taskSpec{{name, p.SimulationKernel(cycle, r)}})
 				if err != nil {
 					fail(err)

@@ -26,13 +26,19 @@ type Config struct {
 	InitOverhead time.Duration
 }
 
+// defaultCost lazily builds the shared builtin kernel registry used by
+// every handle that does not bring its own cost model. The registry is
+// concurrency-safe and handles only read from it, so sharing one
+// instance avoids rebuilding the builtin table per handle.
+var defaultCost = sync.OnceValue(func() pilot.CostModel { return kernels.NewRegistry() })
+
 // withDefaults fills unset fields.
 func (c Config) withDefaults() (Config, error) {
 	if c.Clock == nil {
 		return c, fmt.Errorf("core: config needs a clock")
 	}
 	if c.Cost == nil {
-		c.Cost = kernels.NewRegistry()
+		c.Cost = defaultCost()
 	}
 	zero := pilot.Config{}
 	if c.Runtime == zero {

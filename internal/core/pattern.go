@@ -32,6 +32,15 @@ type EnsembleOfPipelines struct {
 	// StageKernel returns the kernel for the given stage of the given
 	// pipeline (both 1-based, matching the paper's figures).
 	StageKernel func(stage, pipeline int) *Kernel
+	// BulkStages selects phase-batched execution: stage s of every
+	// pipeline is submitted to the runtime in one tracked call and a
+	// barrier separates stages. This trades pipeline-level asynchrony
+	// (normally pipeline i may run stage 2 while pipeline j is still in
+	// stage 1) for a single bulk submission per stage, which is how the
+	// stress tier drives 10k+ pipelines through the scheduler at once. A
+	// pipeline whose StageKernel returns nil at stage s takes no further
+	// part in later stages, matching the default mode's early exit.
+	BulkStages bool
 }
 
 // PatternName implements Pattern.

@@ -20,7 +20,9 @@ import (
 // defaults. It is an alias so plain map literals work across packages.
 type Params = map[string]float64
 
-// clone returns a copy of p merged over defaults.
+// merged returns a copy of p merged over defaults. The result is always
+// a fresh map (never one of the inputs), so callers may hand it out
+// without aliasing the spec's defaults.
 func merged(defaults, p Params) Params {
 	out := make(Params, len(defaults)+len(p))
 	for k, v := range defaults {
@@ -32,7 +34,10 @@ func merged(defaults, p Params) Params {
 	return out
 }
 
-// CostFn predicts execution time for resolved params on cores of machine m.
+// CostFn predicts execution time for resolved params on cores of machine
+// m. The params map is shared (it may be the caller's own map, passed
+// through without copying on the hot path) and MUST be treated as
+// read-only.
 type CostFn func(p Params, cores int, m *cluster.Machine) time.Duration
 
 // Spec is a kernel plugin definition.
@@ -67,7 +72,19 @@ func (s *Spec) Duration(p Params, cores int, m *cluster.Machine) (time.Duration,
 	if cores < 1 {
 		return 0, fmt.Errorf("kernels: %s invoked with %d cores", s.Name, cores)
 	}
-	d := s.Cost(merged(s.DefaultParams, p), cores, m)
+	// Merge (into a fresh map) only when a default is actually missing
+	// from p; in the common case — callers pass complete params — the
+	// caller's map is passed straight through, which is why CostFn must
+	// treat it as read-only. The spec's own DefaultParams map is never
+	// handed out.
+	resolved := p
+	for k := range s.DefaultParams {
+		if _, ok := p[k]; !ok {
+			resolved = merged(s.DefaultParams, p)
+			break
+		}
+	}
+	d := s.Cost(resolved, cores, m)
 	if d < 0 {
 		return 0, fmt.Errorf("kernels: %s cost model returned negative duration", s.Name)
 	}

@@ -1,0 +1,25 @@
+// Package pad provides zero-padded integer formatting without fmt. It
+// exists because entity keys and task names are built once per simulated
+// task, which puts their formatting on the hottest allocation path in
+// the tree.
+package pad
+
+// Int renders n in decimal, left-padded with zeros to at least width
+// digits (wider values keep all their digits; negatives render as 0).
+func Int(n, width int) string {
+	var buf [20]byte
+	i := len(buf)
+	if n < 0 {
+		n = 0
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	for len(buf)-i < width {
+		i--
+		buf[i] = '0'
+	}
+	return string(buf[i:])
+}

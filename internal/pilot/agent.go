@@ -2,17 +2,43 @@ package pilot
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"entk/internal/vclock"
 )
 
 // agent is the pilot's on-resource component: it owns the allocation's
 // cores and schedules compute units onto them at the application level.
-// Units wait in a pending list; every submission or completion triggers a
-// continuous-scheduling pass that places whichever pending units fit
-// (FIFO order, but later units may start if earlier ones do not fit —
-// like RADICAL-Pilot's agent scheduler).
+// Units wait in a pending FIFO; submissions and completions trigger a
+// continuous-scheduling pass that places whichever pending units fit.
+//
+// The pass is incremental (see sched.go for the placement index):
+//
+//   - a pending-need watermark (minNeedAny/minNeedMPI) lets completion
+//     events skip the pass entirely when no pending unit can fit the
+//     newly freed capacity — the common case for a saturated pilot;
+//   - passes are batched: while one pass runs, further submit/completion
+//     events only mark the queue dirty, and the running pass loops until
+//     clean, so one pass services many same-instant completions;
+//   - within a pass, an O(1) feasibility precheck (against the free-core
+//     index) rejects units without touching the node state, and the pass
+//     stops early once no free core remains.
+//
+// Queue discipline per placement policy: FirstFit and BestFit schedule
+// continuously — units are tried in FIFO order and any unit that fits
+// starts, so later units may overtake a blocked head (RADICAL-Pilot
+// agent semantics). Backfill is stricter, mirroring EASY backfilling at
+// the batch layer: the first blocked unit holds a reservation at its
+// earliest possible start (the shadow time, projected from the running
+// units' cost-model completion times), and a later unit may overtake it
+// only if it cannot delay that start — it either uses cores the head
+// will not need at the shadow time, or is predicted to finish before it.
+// The head is therefore never starved by a stream of small units, which
+// continuous scheduling permits.
 type agent struct {
 	pilot *ComputePilot
 	sess  *Session
@@ -23,16 +49,49 @@ type agent struct {
 	launch *vclock.Semaphore
 
 	mu      sync.Mutex
-	nodes   []int // free cores per node of the allocation
+	sched   scheduler
 	pending []*ComputeUnit
 	started bool
 	stopped bool
 	stopErr error
 	running int
+	// stoppedFlag mirrors stopped for the executor's lock-free checks on
+	// the per-unit hot path; written under mu, read via atomic.
+	stoppedFlag atomic.Bool
+
+	// inPass and dirty coalesce scheduling passes; scratch is a
+	// pass-local buffer reused across passes (only the pass owner
+	// touches it).
+	inPass  bool
+	dirty   bool
+	scratch []launchReq
+
+	// minNeedAny/minNeedMPI are conservative watermarks (never above the
+	// true minimum) of pending core needs: minNeedAny over all pending
+	// units, minNeedMPI over pending MPI units only. A completion whose
+	// freed capacity cannot satisfy either watermark skips the pass. They
+	// are tightened on submit and recomputed exactly by any pass that
+	// scans the whole queue.
+	minNeedAny int
+	minNeedMPI int
+
+	// runEnds (Backfill policy only) tracks each running unit's projected
+	// completion — placement time + launch latency + cost-model duration —
+	// the data the EASY reservation is computed from.
+	runEnds map[*ComputeUnit]runInfo
 }
 
-// allocation records the cores a unit holds: cores[i] taken from node i.
-type allocation map[int]int
+// runInfo is a running unit's projected completion and core count.
+type runInfo struct {
+	end   time.Duration
+	cores int
+}
+
+// launchReq is one placement decided by a pass, executed after unlock.
+type launchReq struct {
+	u     *ComputeUnit
+	alloc allocation
+}
 
 func newAgent(p *ComputePilot) *agent {
 	m := p.backend.machine
@@ -52,12 +111,18 @@ func newAgent(p *ComputePilot) *agent {
 	if width <= 0 {
 		width = nNodes
 	}
-	return &agent{
-		pilot:  p,
-		sess:   p.sess,
-		launch: vclock.NewSemaphore(p.sess.V, fmt.Sprintf("launcher pilot %d", p.ID), width),
-		nodes:  nodes,
+	a := &agent{
+		pilot:      p,
+		sess:       p.sess,
+		launch:     vclock.NewSemaphore(p.sess.V, fmt.Sprintf("launcher pilot %d", p.ID), width),
+		sched:      newScheduler(nodes, p.sess.Cfg.Agent, p.sess.Cfg.Rescan),
+		minNeedAny: math.MaxInt,
+		minNeedMPI: math.MaxInt,
 	}
+	if p.sess.Cfg.Agent == Backfill {
+		a.runEnds = make(map[*ComputeUnit]runInfo)
+	}
+	return a
 }
 
 // start begins scheduling queued units; called when the pilot activates.
@@ -76,6 +141,7 @@ func (a *agent) stop(cause error) {
 		return
 	}
 	a.stopped = true
+	a.stoppedFlag.Store(true)
 	a.stopErr = cause
 	doomed := a.pending
 	a.pending = nil
@@ -86,8 +152,32 @@ func (a *agent) stop(cause error) {
 }
 
 // submit enqueues a unit. The unit must already be bound to this agent's
-// pilot.
+// pilot. The QUEUED transition is recorded before the unit becomes
+// visible to the scheduler, so a pass can never execute it first; queue
+// insertion and the pass request then share one critical section.
 func (a *agent) submit(u *ComputeUnit) {
+	if a.isStopped() {
+		u.finish(UnitFailed, a.stopCause())
+		return
+	}
+	// Units that can never be placed on this pilot are rejected here, at
+	// submission, against the pilot's static shape — queueing them would
+	// wedge the FIFO (and the watermark would rightly never trigger a
+	// pass for them).
+	need := u.Desc.Cores
+	if need > a.pilot.Desc.Cores {
+		u.finish(UnitFailed, fmt.Errorf(
+			"pilot: unit %q needs %d cores, pilot %d holds %d",
+			u.Desc.Name, need, a.pilot.ID, a.pilot.Desc.Cores))
+		return
+	}
+	if m := a.pilot.backend.machine; !u.Desc.MPI && need > m.CoresPerNode {
+		u.finish(UnitFailed, fmt.Errorf(
+			"pilot: non-MPI unit %q needs %d cores, node has %d",
+			u.Desc.Name, need, m.CoresPerNode))
+		return
+	}
+	u.setState(UnitQueued)
 	a.mu.Lock()
 	if a.stopped {
 		cause := a.stopErr
@@ -96,12 +186,22 @@ func (a *agent) submit(u *ComputeUnit) {
 		return
 	}
 	a.pending = append(a.pending, u)
-	started := a.started
-	a.mu.Unlock()
-	u.setState(UnitQueued)
-	if started {
-		a.schedule()
+	if need < a.minNeedAny {
+		a.minNeedAny = need
 	}
+	if u.Desc.MPI && need < a.minNeedMPI {
+		a.minNeedMPI = need
+	}
+	if !a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.dirty = true
+	if a.inPass {
+		a.mu.Unlock()
+		return
+	}
+	a.runPasses() // unlocks
 }
 
 // cancelQueued removes a unit from the pending list if still there.
@@ -110,6 +210,8 @@ func (a *agent) cancelQueued(u *ComputeUnit) {
 	for i, q := range a.pending {
 		if q == u {
 			a.pending = append(a.pending[:i], a.pending[i+1:]...)
+			// Watermarks may now be lower than the true minimum; that is
+			// safe (at worst one extra pass recomputes them).
 			a.mu.Unlock()
 			u.finish(UnitCanceled, nil)
 			return
@@ -127,137 +229,241 @@ func (a *agent) load() int {
 	return len(a.pending) + a.running
 }
 
-// schedule performs one continuous-scheduling pass: place every pending
-// unit that fits, in FIFO order.
-func (a *agent) schedule() {
-	type launchReq struct {
-		u     *ComputeUnit
-		alloc allocation
-	}
-	var launches []launchReq
+// fitPossible reports whether any pending unit could be placed right now,
+// per the watermarks. Caller holds mu.
+func (a *agent) fitPossible() bool {
+	return a.minNeedAny <= a.sched.maxNodeFree() || a.minNeedMPI <= a.sched.freeCores()
+}
 
+// schedule requests a scheduling pass, coalescing with a running one.
+func (a *agent) schedule() {
 	a.mu.Lock()
 	if !a.started || a.stopped {
 		a.mu.Unlock()
 		return
 	}
-	var remaining []*ComputeUnit
-	for _, u := range a.pending {
-		alloc, ok, fatal := a.place(u)
-		if fatal != nil {
-			// Cannot ever run on this pilot (too big): fail, do not wedge
-			// the queue.
-			a.mu.Unlock()
-			u.finish(UnitFailed, fatal)
-			a.mu.Lock()
-			continue
-		}
-		if !ok {
-			remaining = append(remaining, u)
-			continue
-		}
-		a.running++
-		launches = append(launches, launchReq{u, alloc})
+	a.dirty = true
+	if a.inPass {
+		a.mu.Unlock()
+		return
 	}
-	a.pending = remaining
-	a.mu.Unlock()
+	a.runPasses() // unlocks
+}
 
-	for _, lr := range launches {
-		lr := lr
-		a.sess.V.Go(func() { a.execute(lr.u, lr.alloc) })
+// release returns an allocation's cores and reschedules. The watermark
+// check makes completions O(1) when nothing pending can use the freed
+// capacity. When the triggered pass places units, the first placement is
+// handed back to the caller — a completing executor goroutine runs its
+// successor directly instead of spawning a fresh goroutine per unit.
+func (a *agent) release(lr launchReq) (launchReq, bool) {
+	a.mu.Lock()
+	a.sched.release(lr.alloc)
+	a.running--
+	if a.runEnds != nil {
+		delete(a.runEnds, lr.u)
+	}
+	if !a.started || a.stopped || len(a.pending) == 0 || !a.fitPossible() {
+		a.mu.Unlock()
+		return launchReq{}, false
+	}
+	a.dirty = true
+	if a.inPass {
+		a.mu.Unlock()
+		return launchReq{}, false
+	}
+	return a.runPassesTakeOne() // unlocks
+}
+
+// runPasses drains the dirty flag: it runs scheduling passes until no new
+// event arrived during the last one, then releases mu. Caller holds mu
+// with inPass false and dirty true.
+func (a *agent) runPasses() {
+	if lr, ok := a.runPassesTakeOne(); ok {
+		a.sess.V.Go(func() { a.execute(lr) })
 	}
 }
 
-// place tries to allocate cores for u. Caller holds mu. The third return
-// is non-nil if the unit can never fit on this allocation.
-func (a *agent) place(u *ComputeUnit) (allocation, bool, error) {
-	need := u.Desc.Cores
-	total := 0
-	for _, f := range a.nodes {
-		total += f
-	}
-	capTotal := a.pilot.Desc.Cores
-	if need > capTotal {
-		return nil, false, fmt.Errorf("pilot: unit %q needs %d cores, pilot %d holds %d",
-			u.Desc.Name, need, a.pilot.ID, capTotal)
-	}
-	m := a.pilot.backend.machine
-	if !u.Desc.MPI && need > m.CoresPerNode {
-		return nil, false, fmt.Errorf("pilot: non-MPI unit %q needs %d cores, node has %d",
-			u.Desc.Name, need, m.CoresPerNode)
-	}
-
-	if !u.Desc.MPI || need <= m.CoresPerNode {
-		// Single-node placement: first-fit or best-fit.
-		best := -1
-		for i, free := range a.nodes {
-			if free < need {
+// runPassesTakeOne is runPasses, but the first placement of the pass
+// cascade is returned to the caller instead of spawned. Caller holds mu
+// with inPass false and dirty true; the mutex is released on return.
+func (a *agent) runPassesTakeOne() (launchReq, bool) {
+	var first launchReq
+	var haveFirst bool
+	a.inPass = true
+	for a.dirty && a.started && !a.stopped {
+		a.dirty = false
+		launches := a.passLocked()
+		if len(launches) == 0 {
+			continue
+		}
+		a.mu.Unlock()
+		for _, lr := range launches {
+			if !haveFirst {
+				first, haveFirst = lr, true
 				continue
 			}
-			if a.sess.Cfg.Agent == FirstFit {
-				best = i
-				break
-			}
-			if best == -1 || free < a.nodes[best] {
-				best = i
-			}
+			lr := lr
+			a.sess.V.Go(func() { a.execute(lr) })
 		}
-		if best >= 0 {
-			a.nodes[best] -= need
-			return allocation{best: need}, true, nil
-		}
-		// An MPI unit that would fit on one node but none is free enough
-		// may still span nodes below.
-		if !u.Desc.MPI {
-			return nil, false, nil
-		}
+		a.mu.Lock()
 	}
+	a.inPass = false
+	a.mu.Unlock()
+	return first, haveFirst
+}
 
-	// MPI spanning placement: greedy across nodes.
-	if total < need {
-		return nil, false, nil
+// passLocked performs one continuous-scheduling pass over the pending
+// FIFO, returning the placements decided. Caller holds mu; the returned
+// slice is agent-owned scratch, valid until the next pass.
+func (a *agent) passLocked() []launchReq {
+	if a.sched.freeCores() == 0 {
+		// Saturated: nothing can be placed, leave the queue untouched.
+		// (Never-placeable units cannot be in it: submit rejects them.)
+		return nil
 	}
-	alloc := make(allocation)
-	rem := need
-	for i, free := range a.nodes {
-		if free == 0 {
-			continue
-		}
-		take := free
-		if take > rem {
-			take = rem
-		}
-		alloc[i] = take
-		rem -= take
-		if rem == 0 {
+	pending := a.pending
+	remaining := pending[:0]
+	launches := a.scratch[:0]
+	m := a.pilot.backend.machine
+	backfill := a.sess.Cfg.Agent == Backfill
+	minAny, minMPI := math.MaxInt, math.MaxInt
+	full := true // whether the scan covered every pending unit
+
+	// Backfill reservation state: set once the FIFO head blocks.
+	blocked := false
+	var shadow time.Duration // head's earliest possible start
+	var extra int            // cores spare at the shadow time
+
+	for i, u := range pending {
+		if a.sched.freeCores() == 0 {
+			// Nothing more can be placed this pass; keep the tail as is.
+			// The watermarks stay conservative: the tail's minima were
+			// already folded in by submit or an earlier full pass.
+			remaining = append(remaining, pending[i:]...)
+			if a.minNeedAny < minAny {
+				minAny = a.minNeedAny
+			}
+			if a.minNeedMPI < minMPI {
+				minMPI = a.minNeedMPI
+			}
+			full = false
 			break
 		}
+		need := u.Desc.Cores
+		// O(1) feasibility precheck against the index, then the EASY
+		// reservation, then the actual placement.
+		fits := need <= a.sched.maxNodeFree() || (u.Desc.MPI && need <= a.sched.freeCores())
+		if fits && backfill && blocked {
+			// The blocked head holds a reservation: this unit may jump it
+			// only if it cannot delay the head's shadow-time start —
+			// either it is predicted to finish before the shadow time
+			// (its cores are back when the head needs them), or it fits
+			// in the spare cores the head will not need then. Spare-core
+			// admissions consume the spare budget, so a stream of long
+			// small units cannot collectively overrun the reservation.
+			ok := false
+			if dur, err := a.predictLocked(u); err == nil {
+				ok = a.sess.V.Now()+m.TaskLaunchLatency+dur <= shadow
+			}
+			if !ok && need <= extra {
+				ok = true
+				extra -= need
+			}
+			fits = ok
+		}
+		if fits {
+			alloc, ok := a.sched.tryPlace(need, u.Desc.MPI)
+			if ok {
+				a.running++
+				if a.runEnds != nil {
+					end := a.sess.V.Now() + m.TaskLaunchLatency
+					if dur, err := a.predictLocked(u); err == nil {
+						end += dur
+					}
+					a.runEnds[u] = runInfo{end: end, cores: need}
+				}
+				launches = append(launches, launchReq{u, alloc})
+				continue
+			}
+		}
+		remaining = append(remaining, u)
+		if need < minAny {
+			minAny = need
+		}
+		if u.Desc.MPI && need < minMPI {
+			minMPI = need
+		}
+		if backfill && !blocked {
+			blocked = true
+			shadow, extra = a.reservationLocked(need)
+		}
 	}
-	if rem > 0 {
-		return nil, false, nil // cannot happen given total >= need
+
+	a.pending = remaining
+	if full || minAny < a.minNeedAny {
+		a.minNeedAny = minAny
 	}
-	for i, n := range alloc {
-		a.nodes[i] -= n
+	if full || minMPI < a.minNeedMPI {
+		a.minNeedMPI = minMPI
 	}
-	return alloc, true, nil
+	a.scratch = launches
+	return launches
 }
 
-// release returns an allocation's cores and reschedules.
-func (a *agent) release(alloc allocation) {
-	a.mu.Lock()
-	for i, n := range alloc {
-		a.nodes[i] += n
-	}
-	a.running--
-	a.mu.Unlock()
-	a.schedule()
+// predictLocked estimates a unit's execution duration via the cost model
+// (the same call executeUnit will make). Used by the Backfill policy;
+// staging and launcher queueing are not modelled — the reservation is a
+// scheduling heuristic, exactly as walltime-based EASY backfill is at the
+// batch layer.
+func (a *agent) predictLocked(u *ComputeUnit) (time.Duration, error) {
+	return a.sess.Cost.Duration(u.Desc.Kernel, u.Desc.Params, u.Desc.Cores, a.pilot.backend.machine)
 }
 
-// execute runs one unit's full lifecycle on its allocation: launch,
+// reservationLocked computes the blocked head's EASY reservation from the
+// running units' projected completions: the shadow time at which enough
+// cores will have been freed for the head, and the cores spare beyond the
+// head's need at that moment. Projected completions sharing the shadow
+// time are all counted, keeping the result independent of map order.
+// Caller holds mu.
+func (a *agent) reservationLocked(headNeed int) (shadow time.Duration, extra int) {
+	free := a.sched.freeCores()
+	infos := make([]runInfo, 0, len(a.runEnds))
+	for _, ri := range a.runEnds {
+		infos = append(infos, ri)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].end < infos[j].end })
+	acc := 0
+	for i, ri := range infos {
+		acc += ri.cores
+		if free+acc >= headNeed && (i+1 == len(infos) || infos[i+1].end != ri.end) {
+			return ri.end, free + acc - headNeed
+		}
+	}
+	// The head can never start (larger than capacity would be fatal, so
+	// this is only reachable transiently): forbid all overtaking.
+	return 0, -1
+}
+
+// execute is an executor goroutine: it runs the launched unit's
+// lifecycle, releases its allocation, and — when the release's pass hands
+// one back — continues directly with a successor unit, so a saturated
+// pilot reuses one goroutine per core chain instead of spawning one per
+// unit.
+func (a *agent) execute(lr launchReq) {
+	for {
+		a.executeUnit(lr.u)
+		next, ok := a.release(lr)
+		if !ok {
+			return
+		}
+		lr = next
+	}
+}
+
+// executeUnit runs one unit's full lifecycle on its allocation: launch,
 // staging-in, execution (virtual sleep of the cost-model duration plus the
-// optional real Work), staging-out.
-func (a *agent) execute(u *ComputeUnit, alloc allocation) {
-	defer a.release(alloc)
+// optional real Work), staging-out. The caller releases the allocation.
+func (a *agent) executeUnit(u *ComputeUnit) {
 	v := a.sess.V
 	m := a.pilot.backend.machine
 	prof := a.sess.Prof
@@ -267,7 +473,7 @@ func (a *agent) execute(u *ComputeUnit, alloc allocation) {
 	v.Sleep(m.TaskLaunchLatency)
 	a.launch.Release(1)
 	if a.isStopped() {
-		u.finish(UnitFailed, a.stopErr)
+		u.finish(UnitFailed, a.stopCause())
 		return
 	}
 
@@ -302,7 +508,7 @@ func (a *agent) execute(u *ComputeUnit, alloc allocation) {
 		return
 	}
 	if a.isStopped() {
-		u.finish(UnitFailed, a.stopErr)
+		u.finish(UnitFailed, a.stopCause())
 		return
 	}
 	if u.Desc.Work != nil {
@@ -327,18 +533,26 @@ func (a *agent) execute(u *ComputeUnit, alloc allocation) {
 }
 
 func (a *agent) isStopped() bool {
+	return a.stoppedFlag.Load()
+}
+
+// stopCause returns the stop error; valid once isStopped reports true.
+func (a *agent) stopCause() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.stopped
+	return a.stopErr
 }
 
 // freeCores reports currently free cores (tests/diagnostics).
 func (a *agent) freeCores() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	total := 0
-	for _, f := range a.nodes {
-		total += f
-	}
-	return total
+	return a.sched.freeCores()
+}
+
+// nodeFree snapshots per-node free cores (tests/diagnostics).
+func (a *agent) nodeFree() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sched.nodeFree()
 }

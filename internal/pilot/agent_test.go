@@ -111,27 +111,26 @@ func TestMPIAllocationExactlyCoversRequest(t *testing.T) {
 	v.Run(func() {
 		_, p := startPilot(t, s, 12) // 3 nodes: 4+4+4
 		a := p.agent
-		u := newUnit(s, UnitDescription{Name: "mpi", Kernel: "misc.sleep", Cores: 10, MPI: true})
 		a.mu.Lock()
-		alloc, ok, fatal := a.place(u)
+		alloc, ok := a.sched.tryPlace(10, true)
 		a.mu.Unlock()
-		if fatal != nil || !ok {
-			t.Fatalf("place failed: ok=%v fatal=%v", ok, fatal)
+		if !ok {
+			t.Fatal("place failed")
 		}
-		total := 0
-		for node, n := range alloc {
+		alloc.forEach(func(node, n int) {
 			if node < 0 || node >= 3 || n <= 0 || n > 4 {
 				t.Errorf("bad allocation entry node=%d n=%d", node, n)
 			}
-			total += n
-		}
-		if total != 10 {
+		})
+		if total := alloc.total(); total != 10 {
 			t.Errorf("allocated %d cores, want 10", total)
 		}
 		if free := a.freeCores(); free != 2 {
 			t.Errorf("free after place = %d, want 2", free)
 		}
-		a.release(alloc)
+		a.mu.Lock()
+		a.sched.release(alloc)
+		a.mu.Unlock()
 		if free := a.freeCores(); free != 12 {
 			t.Errorf("free after release = %d, want 12", free)
 		}

@@ -101,6 +101,43 @@ func (um *UnitManager) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
 	return units, nil
 }
 
+// SubmitStreamed validates and submits unit descriptions as a stream:
+// each unit is created and dispatched to its pilot as soon as its own
+// client-side submission cost has elapsed, instead of after the whole
+// batch's. Unit i therefore reaches an agent at the same virtual time as
+// the i-th of N serialized single-unit Submit calls, which is exactly the
+// timeline the ensemble-of-pipelines executor produces with one goroutine
+// per pipeline — without the N goroutines. It must be called from a
+// registered vclock process.
+func (um *UnitManager) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, error) {
+	for i := range descs {
+		if err := descs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	perUnit := um.sess.Cfg.UMSubmitPerUnit
+	units := make([]*ComputeUnit, 0, len(descs))
+	for i := range descs {
+		u := newUnit(um.sess, descs[i])
+		um.sess.Prof.Record(u.Entity(), "new")
+		units = append(units, u)
+		// Client-side creation/serialization cost for this one unit.
+		um.sess.V.Sleep(perUnit)
+		u.setState(UnitScheduling)
+		p, err := um.pick()
+		if err != nil {
+			u.finish(UnitFailed, err)
+			continue
+		}
+		u.mu.Lock()
+		u.pilot = p
+		u.mu.Unlock()
+		um.sess.Prof.Record(u.Entity(), "umgr_bound")
+		p.agent.submit(u)
+	}
+	return units, nil
+}
+
 // SubmitOne is a convenience wrapper for a single description.
 func (um *UnitManager) SubmitOne(d UnitDescription) (*ComputeUnit, error) {
 	us, err := um.Submit([]UnitDescription{d})

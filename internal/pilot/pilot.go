@@ -47,6 +47,23 @@ func (s PilotState) Final() bool {
 	return s == PilotDone || s == PilotCanceled || s == PilotFailed
 }
 
+// pilotStateEvents precomputes the profiler event name per state.
+var pilotStateEvents = [...]string{
+	PilotPending:  "state_PENDING",
+	PilotActive:   "state_ACTIVE",
+	PilotDone:     "state_DONE",
+	PilotCanceled: "state_CANCELED",
+	PilotFailed:   "state_FAILED",
+}
+
+// stateEvent returns the profiler event name for a transition into s.
+func (s PilotState) stateEvent() string {
+	if int(s) < len(pilotStateEvents) {
+		return pilotStateEvents[s]
+	}
+	return "state_" + s.String()
+}
+
 // PilotDescription requests a placeholder allocation on one machine.
 type PilotDescription struct {
 	// Resource is the machine label, e.g. "xsede.comet".
@@ -82,6 +99,7 @@ type ComputePilot struct {
 	backend *backend
 	job     saga.Job
 	agent   *agent
+	entity  string // cached profiler entity key
 
 	mu       sync.Mutex
 	state    PilotState
@@ -90,7 +108,7 @@ type ComputePilot struct {
 }
 
 // Entity returns the pilot's profiler entity key.
-func (p *ComputePilot) Entity() string { return pilotEntity(p.ID) }
+func (p *ComputePilot) Entity() string { return p.entity }
 
 // State returns the pilot's current state.
 func (p *ComputePilot) State() PilotState {
@@ -134,7 +152,7 @@ func (p *ComputePilot) setState(st PilotState) {
 	}
 	p.state = st
 	p.mu.Unlock()
-	p.sess.Prof.Record(p.Entity(), "state_"+st.String())
+	p.sess.Prof.Record(p.entity, st.stateEvent())
 }
 
 // PilotManager submits and tracks pilots (mirroring rp.PilotManager).
@@ -180,6 +198,7 @@ func (pm *PilotManager) Submit(desc PilotDescription) (*ComputePilot, error) {
 		backend: be,
 		state:   PilotPending,
 	}
+	p.entity = pilotEntity(p.ID)
 	p.activeEv = vclock.NewEvent(pm.sess.V, fmt.Sprintf("pilot %d active", p.ID))
 	p.finalEv = vclock.NewEvent(pm.sess.V, fmt.Sprintf("pilot %d final", p.ID))
 	p.agent = newAgent(p)

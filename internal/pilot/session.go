@@ -8,12 +8,12 @@
 package pilot
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
 	"entk/internal/batch"
 	"entk/internal/cluster"
+	"entk/internal/pad"
 	"entk/internal/profile"
 	"entk/internal/saga"
 	"entk/internal/stage"
@@ -32,17 +32,30 @@ type Placement int
 
 const (
 	// FirstFit places a unit on the first node with enough free cores.
+	// Units are tried in FIFO order but any unit that fits starts, so
+	// later units may overtake a blocked head (continuous scheduling).
 	FirstFit Placement = iota
 	// BestFit places a unit on the feasible node with the fewest free
-	// cores, reducing fragmentation for mixed-size workloads.
+	// cores, reducing fragmentation for mixed-size workloads. Queue
+	// discipline is continuous, as with FirstFit.
 	BestFit
+	// Backfill packs first-fit but keeps the queue near-FIFO: the first
+	// blocked unit holds a reservation at its earliest possible start
+	// (projected from running units' cost-model completion times), and a
+	// later unit may jump it only if it cannot delay that start — EASY
+	// backfilling at the agent layer. See agent.go.
+	Backfill
 )
 
 func (p Placement) String() string {
-	if p == BestFit {
+	switch p {
+	case BestFit:
 		return "best-fit"
+	case Backfill:
+		return "backfill"
+	default:
+		return "first-fit"
 	}
-	return "first-fit"
 }
 
 // SchedulerPolicy selects how the unit manager spreads units over pilots.
@@ -78,6 +91,12 @@ type Config struct {
 	LauncherWidth int
 	// BatchPolicy is the queue discipline of the simulated batch systems.
 	BatchPolicy batch.Policy
+	// Rescan selects the seed's O(pending x nodes) rescan scheduler
+	// inside the agents instead of the indexed incremental one. The two
+	// produce identical placements and identical simulated time; the
+	// rescan path is kept as the reference implementation for regression
+	// tests (see sched.go).
+	Rescan bool
 }
 
 // DefaultConfig returns the configuration used for the paper
@@ -168,6 +187,8 @@ func (s *Session) unitID() int {
 	return s.nextUID
 }
 
-// entity name helpers keep profiler keys consistent across layers.
-func pilotEntity(id int) string { return fmt.Sprintf("pilot.%04d", id) }
-func unitEntity(id int) string  { return fmt.Sprintf("unit.%06d", id) }
+// entity name helpers keep profiler keys consistent across layers. They
+// are on the per-unit hot path (every profiler record carries an entity
+// key), so they format without fmt.
+func pilotEntity(id int) string { return "pilot." + pad.Int(id, 4) }
+func unitEntity(id int) string  { return "unit." + pad.Int(id, 6) }

@@ -76,6 +76,29 @@ func (s UnitState) Final() bool {
 	return s == UnitDone || s == UnitFailed || s == UnitCanceled
 }
 
+// unitStateEvents precomputes the profiler event name for each state
+// transition ("state_" + String()), avoiding a per-transition allocation
+// on the unit hot path.
+var unitStateEvents = [...]string{
+	UnitNew:           "state_NEW",
+	UnitScheduling:    "state_SCHEDULING",
+	UnitQueued:        "state_QUEUED",
+	UnitStagingInput:  "state_STAGING_INPUT",
+	UnitExecuting:     "state_EXECUTING",
+	UnitStagingOutput: "state_STAGING_OUTPUT",
+	UnitDone:          "state_DONE",
+	UnitFailed:        "state_FAILED",
+	UnitCanceled:      "state_CANCELED",
+}
+
+// stateEvent returns the profiler event name for a transition into s.
+func (s UnitState) stateEvent() string {
+	if int(s) < len(unitStateEvents) {
+		return unitStateEvents[s]
+	}
+	return "state_" + s.String()
+}
+
 // UnitDescription describes one task, the pilot-level analogue of a kernel
 // plugin instantiation.
 type UnitDescription struct {
@@ -124,7 +147,8 @@ type ComputeUnit struct {
 	ID   int
 	Desc UnitDescription
 
-	sess *Session
+	sess   *Session
+	entity string // cached profiler entity key
 
 	mu       sync.Mutex
 	state    UnitState
@@ -132,23 +156,26 @@ type ComputeUnit struct {
 	pilot    *ComputePilot
 	started  time.Duration // exec start (virtual)
 	stopped  time.Duration // exec stop (virtual)
-	finalEv  *vclock.Event
-	canceled bool // cancellation requested
+	finalEv  vclock.Event  // embedded: one allocation per unit, not two
+	canceled bool          // cancellation requested
 }
 
 func newUnit(s *Session, desc UnitDescription) *ComputeUnit {
 	id := s.unitID()
-	return &ComputeUnit{
-		ID:      id,
-		Desc:    desc,
-		sess:    s,
-		state:   UnitNew,
-		finalEv: vclock.NewEvent(s.V, fmt.Sprintf("unit %d final", id)),
+	entity := unitEntity(id)
+	u := &ComputeUnit{
+		ID:     id,
+		Desc:   desc,
+		sess:   s,
+		entity: entity,
+		state:  UnitNew,
 	}
+	u.finalEv.Init(s.V, entity) // reads "event unit.NNNNNN" in deadlock dumps
+	return u
 }
 
 // Entity returns the unit's profiler entity key.
-func (u *ComputeUnit) Entity() string { return unitEntity(u.ID) }
+func (u *ComputeUnit) Entity() string { return u.entity }
 
 // State returns the current state.
 func (u *ComputeUnit) State() UnitState {
@@ -225,7 +252,7 @@ func (u *ComputeUnit) setState(st UnitState) {
 	}
 	u.state = st
 	u.mu.Unlock()
-	u.sess.Prof.Record(u.Entity(), "state_"+st.String())
+	u.sess.Prof.Record(u.entity, st.stateEvent())
 }
 
 // finish moves the unit to a terminal state and fires its final event.
@@ -241,7 +268,7 @@ func (u *ComputeUnit) finish(st UnitState, err error) {
 	u.state = st
 	u.err = err
 	u.mu.Unlock()
-	u.sess.Prof.Record(u.Entity(), "state_"+st.String())
+	u.sess.Prof.Record(u.entity, st.stateEvent())
 	u.finalEv.Fire()
 }
 

@@ -22,11 +22,33 @@ type Event struct {
 	T      time.Duration // virtual time
 }
 
-// Profiler accumulates events. It is safe for concurrent use.
+// Chunk sizing: events are stored in chunks so that recording never
+// re-copies the whole history (large runs record hundreds of thousands
+// of events). Chunks start small — a stripe that only ever sees a few
+// events costs little — and double up to profChunkMax.
+const (
+	profChunkMin = 128
+	profChunkMax = 4096
+)
+
+// profStripes shards the profiler by entity so concurrent recorders (one
+// per executing unit) do not serialize on one mutex. Power of two.
+const profStripes = 16
+
+// stripe is one shard: a mutex and its chunked event log.
+type stripe struct {
+	mu     sync.Mutex
+	chunks [][]Event
+	n      int
+}
+
+// Profiler accumulates events. It is safe for concurrent use. Events are
+// kept in insertion order per entity (an entity always maps to the same
+// stripe); cross-entity order across stripes is not meaningful — queries
+// are order-independent and Timeline sorts by time.
 type Profiler struct {
-	clock vclock.Clock
-	mu    sync.Mutex
-	evs   []Event
+	clock   vclock.Clock
+	stripes [profStripes]stripe
 }
 
 // New returns an empty profiler reading timestamps from clock.
@@ -34,54 +56,95 @@ func New(clock vclock.Clock) *Profiler {
 	return &Profiler{clock: clock}
 }
 
+// stripeFor hashes an entity to its shard (FNV-1a).
+func stripeFor(entity string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(entity); i++ {
+		h ^= uint32(entity[i])
+		h *= 16777619
+	}
+	return h & (profStripes - 1)
+}
+
 // Record appends an event for entity at the current time.
 func (p *Profiler) Record(entity, name string) {
 	t := p.clock.Now()
-	p.mu.Lock()
-	p.evs = append(p.evs, Event{Entity: entity, Name: name, T: t})
-	p.mu.Unlock()
+	s := &p.stripes[stripeFor(entity)]
+	s.mu.Lock()
+	last := len(s.chunks) - 1
+	if last < 0 || len(s.chunks[last]) == cap(s.chunks[last]) {
+		size := profChunkMin
+		if last >= 0 {
+			if size = 2 * cap(s.chunks[last]); size > profChunkMax {
+				size = profChunkMax
+			}
+		}
+		s.chunks = append(s.chunks, make([]Event, 0, size))
+		last++
+	}
+	s.chunks[last] = append(s.chunks[last], Event{Entity: entity, Name: name, T: t})
+	s.n++
+	s.mu.Unlock()
 }
 
-// Events returns a copy of all events in insertion order.
+// forEach visits all events, stripe by stripe, in per-entity insertion
+// order. Each stripe is locked while visited.
+func (p *Profiler) forEach(fn func(Event)) {
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		for _, c := range s.chunks {
+			for j := range c {
+				fn(c[j])
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Events returns a copy of all events, in per-entity insertion order.
 func (p *Profiler) Events() []Event {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return append([]Event(nil), p.evs...)
+	total := 0
+	for i := range p.stripes {
+		s := &p.stripes[i]
+		s.mu.Lock()
+		total += s.n
+		s.mu.Unlock()
+	}
+	out := make([]Event, 0, total)
+	p.forEach(func(e Event) { out = append(out, e) })
+	return out
 }
 
 // First returns the earliest timestamp of the named event for entities
 // matching the prefix; ok is false if none exists.
 func (p *Profiler) First(entityPrefix, name string) (time.Duration, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var best time.Duration
 	found := false
-	for _, e := range p.evs {
+	p.forEach(func(e Event) {
 		if e.Name == name && strings.HasPrefix(e.Entity, entityPrefix) {
 			if !found || e.T < best {
 				best = e.T
 				found = true
 			}
 		}
-	}
+	})
 	return best, found
 }
 
 // Last returns the latest timestamp of the named event for entities
 // matching the prefix; ok is false if none exists.
 func (p *Profiler) Last(entityPrefix, name string) (time.Duration, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var best time.Duration
 	found := false
-	for _, e := range p.evs {
+	p.forEach(func(e Event) {
 		if e.Name == name && strings.HasPrefix(e.Entity, entityPrefix) {
 			if !found || e.T > best {
 				best = e.T
 				found = true
 			}
 		}
-	}
+	})
 	return best, found
 }
 
@@ -103,13 +166,11 @@ func (p *Profiler) Span(entityPrefix, start, stop string) (time.Duration, bool) 
 // first stop per entity). It measures aggregate busy time rather than wall
 // span.
 func (p *Profiler) SumPairs(entityPrefix, start, stop string) time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	starts := make(map[string]time.Duration)
 	stops := make(map[string]time.Duration)
-	for _, e := range p.evs {
+	p.forEach(func(e Event) {
 		if !strings.HasPrefix(e.Entity, entityPrefix) {
-			continue
+			return
 		}
 		switch e.Name {
 		case start:
@@ -121,7 +182,7 @@ func (p *Profiler) SumPairs(entityPrefix, start, stop string) time.Duration {
 				stops[e.Entity] = e.T
 			}
 		}
-	}
+	})
 	var total time.Duration
 	for ent, s := range starts {
 		if e, ok := stops[ent]; ok && e >= s {
@@ -133,14 +194,12 @@ func (p *Profiler) SumPairs(entityPrefix, start, stop string) time.Duration {
 
 // Entities returns the sorted distinct entities matching the prefix.
 func (p *Profiler) Entities(prefix string) []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	set := make(map[string]bool)
-	for _, e := range p.evs {
+	p.forEach(func(e Event) {
 		if strings.HasPrefix(e.Entity, prefix) {
 			set[e.Entity] = true
 		}
-	}
+	})
 	out := make([]string, 0, len(set))
 	for e := range set {
 		out = append(out, e)

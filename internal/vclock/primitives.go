@@ -1,10 +1,16 @@
 package vclock
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Event is a one-shot broadcast flag on a virtual clock, analogous to
 // closing a channel. Wait blocks the calling process until Fire is called;
-// once fired, Wait returns immediately forever after.
+// once fired, Wait returns immediately forever after. The wake channel is
+// created lazily by the first blocked waiter, so events that fire before
+// anyone waits (or are never waited on) cost a single struct — hosts may
+// also embed an Event value and Init it in place.
 type Event struct {
 	v       *Virtual
 	name    string
@@ -15,7 +21,16 @@ type Event struct {
 
 // NewEvent returns an unfired Event. The name appears in deadlock reports.
 func NewEvent(v *Virtual, name string) *Event {
-	return &Event{v: v, name: name, ch: make(chan struct{})}
+	e := &Event{}
+	e.Init(v, name)
+	return e
+}
+
+// Init prepares a zero Event in place (for hosts embedding the value).
+// It must be called before any other method, and only once.
+func (e *Event) Init(v *Virtual, name string) {
+	e.v = v
+	e.name = name
 }
 
 // Fired reports whether the event has been fired.
@@ -33,7 +48,9 @@ func (e *Event) Fire() {
 		e.fired = true
 		e.v.wake(e.waiting)
 		e.waiting = 0
-		close(e.ch)
+		if e.ch != nil {
+			close(e.ch)
+		}
 	}
 	e.v.mu.Unlock()
 }
@@ -45,8 +62,11 @@ func (e *Event) Wait() {
 		e.v.mu.Unlock()
 		return
 	}
+	if e.ch == nil {
+		e.ch = make(chan struct{})
+	}
 	e.waiting++
-	tok := e.v.blockOn("event " + e.name)
+	tok := e.v.blockOn(func() string { return "event " + e.name })
 	e.v.mu.Unlock()
 	<-e.ch
 	e.v.mu.Lock()
@@ -167,7 +187,7 @@ func (q *Queue) Get() (interface{}, bool) {
 	}
 	w := &qwaiter{ch: make(chan qresult, 1)}
 	q.waiters = append(q.waiters, w)
-	tok := q.v.blockOn("queue " + q.name)
+	tok := q.v.blockOn(func() string { return "queue " + q.name })
 	q.v.mu.Unlock()
 	r := <-w.ch
 	q.v.mu.Lock()
@@ -224,7 +244,13 @@ type Semaphore struct {
 
 type swaiter struct {
 	n  int
-	ch chan struct{}
+	ch chan struct{} // pooled capacity-1 channel, signalled by send
+}
+
+// swaiterPool recycles semaphore waiters; launcher semaphores park once
+// per task, which made the waiter the engine's second-largest allocation.
+var swaiterPool = sync.Pool{
+	New: func() interface{} { return &swaiter{ch: make(chan struct{}, 1)} },
 }
 
 // NewSemaphore returns a semaphore with n initially available permits.
@@ -247,14 +273,19 @@ func (s *Semaphore) Acquire(n int) {
 		s.v.mu.Unlock()
 		return
 	}
-	w := &swaiter{n: n, ch: make(chan struct{})}
+	w := swaiterPool.Get().(*swaiter)
+	w.n = n
 	s.waiters = append(s.waiters, w)
-	tok := s.v.blockOn(fmt.Sprintf("semaphore %s (acquire %d, avail %d)", s.name, n, s.avail))
+	avail := s.avail
+	tok := s.v.blockOn(func() string {
+		return fmt.Sprintf("semaphore %s (acquire %d, avail %d)", s.name, n, avail)
+	})
 	s.v.mu.Unlock()
 	<-w.ch
 	s.v.mu.Lock()
 	s.v.unblocked(tok)
 	s.v.mu.Unlock()
+	swaiterPool.Put(w)
 }
 
 // TryAcquire takes n permits only if immediately available, reporting
@@ -289,7 +320,7 @@ func (s *Semaphore) Release(n int) {
 	s.v.wake(len(served))
 	s.v.mu.Unlock()
 	for _, w := range served {
-		close(w.ch)
+		w.ch <- struct{}{} // never blocks: cap 1, exactly one acquirer
 	}
 }
 

@@ -1,11 +1,11 @@
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,14 +22,20 @@ import (
 //
 // The zero value is not usable; construct with NewVirtual.
 type Virtual struct {
-	mu       sync.Mutex
-	now      time.Duration
-	runnable int
-	timers   timerHeap
-	seq      int64
+	mu sync.Mutex
+	// now mirrors nowAtomic; the atomic copy lets Now() — which sits on
+	// the profiler's per-event hot path — avoid taking mu. Only advance()
+	// writes time, under mu.
+	now       time.Duration
+	nowAtomic atomic.Int64
+	runnable  int
+	timers    timerHeap
+	seq       int64
 	// blocked tracks descriptions of processes blocked on non-timer
-	// primitives, keyed by a unique token, for deadlock diagnostics.
-	blocked map[int64]string
+	// primitives, keyed by a unique token, for deadlock diagnostics. The
+	// descriptions are lazy closures so the (rare) deadlock report pays
+	// for formatting, not every block on the hot path.
+	blocked map[int64]func() string
 	// dead marks the clock as having detected a deadlock; all further
 	// accounting becomes a no-op so the panic can unwind (and deferred
 	// exits can run) without corrupting or re-locking the engine.
@@ -38,14 +44,19 @@ type Virtual struct {
 
 // NewVirtual returns a virtual clock at time zero with no processes.
 func NewVirtual() *Virtual {
-	return &Virtual{blocked: make(map[int64]string)}
+	return &Virtual{blocked: make(map[int64]func() string)}
 }
 
 // Now returns the current virtual time.
 func (v *Virtual) Now() time.Duration {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return time.Duration(v.nowAtomic.Load())
+}
+
+// timerPool recycles timers (and their wake channels) across sleeps:
+// simulations sleep millions of times, and the timer allocation was the
+// single largest source of garbage in the engine.
+var timerPool = sync.Pool{
+	New: func() interface{} { return &timer{ch: make(chan struct{}, 1)} },
 }
 
 // Sleep suspends the calling process for d of virtual time. The caller must
@@ -55,12 +66,15 @@ func (v *Virtual) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	t := timerPool.Get().(*timer)
 	v.mu.Lock()
-	ch := make(chan struct{})
-	heap.Push(&v.timers, &timer{deadline: v.now + d, seq: v.nextSeq(), ch: ch})
+	t.deadline = v.now + d
+	t.seq = v.nextSeq()
+	v.timers.push(t)
 	v.becomeBlocked()
 	v.mu.Unlock()
-	<-ch
+	<-t.ch
+	timerPool.Put(t)
 }
 
 // Go spawns fn as a new registered process. It may be called from inside or
@@ -134,7 +148,7 @@ func (v *Virtual) wake(n int) {
 // remain, the simulation can never make progress: panic with diagnostics.
 func (v *Virtual) advance() {
 	for v.runnable == 0 {
-		if v.timers.Len() == 0 {
+		if len(v.timers) == 0 {
 			if len(v.blocked) > 0 {
 				// Fatal: no process can ever run again. Mark the engine
 				// dead and release the mutex before panicking so that
@@ -152,10 +166,11 @@ func (v *Virtual) advance() {
 			panic("vclock: timer deadline in the past")
 		}
 		v.now = deadline
-		for v.timers.Len() > 0 && v.timers[0].deadline == deadline {
-			t := heap.Pop(&v.timers).(*timer)
+		v.nowAtomic.Store(int64(deadline))
+		for len(v.timers) > 0 && v.timers[0].deadline == deadline {
+			t := v.timers.pop()
 			v.runnable++
-			close(t.ch)
+			t.ch <- struct{}{} // never blocks: cap 1, exactly one sleeper
 		}
 	}
 }
@@ -168,7 +183,7 @@ func (v *Virtual) deadlockReport() string {
 		v.now, len(v.blocked))
 	descs := make([]string, 0, len(v.blocked))
 	for _, d := range v.blocked {
-		descs = append(descs, d)
+		descs = append(descs, d())
 	}
 	sort.Strings(descs)
 	for _, d := range descs {
@@ -179,9 +194,10 @@ func (v *Virtual) deadlockReport() string {
 }
 
 // blockOn records that the calling process is blocked on the primitive
-// described by desc, transitions it to blocked, and returns a token to pass
-// to unblocked once it resumes. Caller holds mu.
-func (v *Virtual) blockOn(desc string) int64 {
+// described by desc (formatted only if a deadlock report is built),
+// transitions it to blocked, and returns a token to pass to unblocked
+// once it resumes. Caller holds mu.
+func (v *Virtual) blockOn(desc func() string) int64 {
 	tok := v.nextSeq()
 	v.blocked[tok] = desc
 	v.becomeBlocked()
@@ -195,30 +211,63 @@ func (v *Virtual) unblocked(tok int64) {
 	delete(v.blocked, tok)
 }
 
-// timer is a pending virtual-time wakeup.
+// timer is a pending virtual-time wakeup. Timers are pooled: ch is a
+// reusable capacity-1 channel signalled by send, not close.
 type timer struct {
 	deadline time.Duration
 	seq      int64 // FIFO tiebreak among equal deadlines
 	ch       chan struct{}
 }
 
-// timerHeap is a min-heap of timers ordered by (deadline, seq).
+// timerHeap is a min-heap of timers ordered by (deadline, seq). It is a
+// concrete implementation (no container/heap interface boxing): the heap
+// sits on the engine's innermost loop.
 type timerHeap []*timer
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].deadline != h[j].deadline {
 		return h[i].deadline < h[j].deadline
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+
+// push inserts t, sifting up.
+func (h *timerHeap) push(t *timer) {
+	*h = append(*h, t)
+	s := *h
+	for c := len(s) - 1; c > 0; {
+		p := (c - 1) / 2
+		if s.less(p, c) {
+			break
+		}
+		s[p], s[c] = s[c], s[p]
+		c = p
+	}
+}
+
+// pop removes and returns the minimum timer.
+func (h *timerHeap) pop() *timer {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil
+	s = s[:n]
+	*h = s
+	for c := 0; ; {
+		l, r := 2*c+1, 2*c+2
+		m := c
+		if l < n && s.less(l, m) {
+			m = l
+		}
+		if r < n && s.less(r, m) {
+			m = r
+		}
+		if m == c {
+			break
+		}
+		s[c], s[m] = s[m], s[c]
+		c = m
+	}
+	return top
 }

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"entk/internal/core"
+	"entk/internal/pilot"
+	"entk/internal/stats"
+	"entk/internal/vclock"
+)
+
+// The stress tier pushes the toolkit past the paper's largest experiments
+// (Figure 8 stops at 4096 tasks): 10k-member ensembles on a synthetic
+// 8192-core machine (sim.stress8k). These sweeps are the workload behind
+// the indexed agent scheduler — the seed's rescan scheduler made them the
+// slowest runs in the tree — and double as correctness checks that the
+// runtime keeps exact accounting when the workload no longer fits the
+// pilot in one wave. Wall-clock throughput is reported alongside the
+// simulated quantities so the perf trajectory is measurable (see
+// cmd/entk-bench -stress and BENCH_PR1.json).
+
+// StressMachine is the stress tier's resource label.
+const StressMachine = "sim.stress8k"
+
+// StressCores is the pilot size used by the stress tier.
+const StressCores = 8192
+
+// The unit-throughput workload: the single configuration measured by
+// BenchmarkPilotUnitThroughput and recorded in BENCH_PR<N>.json, defined
+// once here so the benchmark and entk-bench cannot drift apart.
+const (
+	// ThroughputUnits is the workload's ensemble width.
+	ThroughputUnits = 512
+	// ThroughputCores is the pilot size.
+	ThroughputCores = 256
+)
+
+// PilotThroughput runs the unit-throughput workload once: ThroughputUnits
+// one-stage pipelines of one-second sleeps through a ThroughputCores-core
+// Stampede pilot, on the indexed (rescan=false) or reference scheduler.
+func PilotThroughput(rescan bool) error {
+	v := vclock.NewVirtual()
+	rcfg := pilot.DefaultConfig()
+	rcfg.Rescan = rescan
+	h, err := core.NewResourceHandle("xsede.stampede", ThroughputCores, 1000*time.Hour,
+		core.Config{Clock: v, Runtime: rcfg})
+	if err != nil {
+		return err
+	}
+	var runErr error
+	v.Run(func() {
+		_, runErr = h.Execute(&core.EnsembleOfPipelines{
+			Pipelines: ThroughputUnits,
+			Stages:    1,
+			StageKernel: func(int, int) *core.Kernel {
+				return &core.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 1}}
+			},
+		})
+	})
+	return runErr
+}
+
+// Defaults of the stress sweeps.
+var (
+	// StressEESizes are EE ensemble sizes: replicas = cores up to the
+	// full machine, then an oversubscribed 10240-replica point that must
+	// run in two waves.
+	StressEESizes = []int{1280, 2560, 5120, 8192, 10240}
+	// StressEoPSizes are EoP ensemble widths, up to 10240 pipelines.
+	StressEoPSizes = []int{2560, 5120, 10240}
+	// stressEoPStages is the pipeline depth of the EoP stress sweep.
+	stressEoPStages = 2
+	// stressEoPSeconds is the per-task runtime of the EoP stress sweep.
+	stressEoPSeconds = 30.0
+)
+
+// StressEEPoint is one EE stress configuration.
+type StressEEPoint struct {
+	Replicas    int
+	Cores       int
+	SimSec      float64
+	ExchangeSec float64
+	TTCSec      float64
+	WallMS      float64 // real time spent simulating this point
+}
+
+// StressEEResult holds the EE weak-scaling stress sweep.
+type StressEEResult struct {
+	Rows []StressEEPoint
+}
+
+// StressEE runs the EE weak-scaling stress sweep: replicas = cores up to
+// the whole 8192-core machine, plus a final oversubscribed point with
+// more replicas than cores — the pilot capability (decoupling workload
+// size from resource size) at 10k scale.
+func StressEE(sizes []int) (*StressEEResult, error) {
+	if sizes == nil {
+		sizes = StressEESizes
+	}
+	res := &StressEEResult{}
+	for _, n := range sizes {
+		cores := n
+		if cores > StressCores {
+			cores = StressCores
+		}
+		t0 := time.Now()
+		rep, err := runOnFreshClock(StressMachine, cores, func() core.Pattern {
+			return &core.EnsembleExchange{
+				Replicas: n,
+				Cycles:   1,
+				SimulationKernel: func(cycle, r int) *core.Kernel {
+					return &core.Kernel{
+						Name:   "md.amber",
+						Params: map[string]float64{"atoms": alanineAtoms, "ps": eePS},
+					}
+				},
+				ExchangeKernel: func(cycle int) *core.Kernel {
+					return &core.Kernel{
+						Name:   "md.remd_exchange",
+						Params: map[string]float64{"replicas": float64(n)},
+					}
+				},
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stress ee n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, StressEEPoint{
+			Replicas:    n,
+			Cores:       cores,
+			SimSec:      rep.Phase("simulation").Span.Seconds(),
+			ExchangeSec: rep.Phase("exchange").Span.Seconds(),
+			TTCSec:      rep.TTC.Seconds(),
+			WallMS:      float64(time.Since(t0)) / float64(time.Millisecond),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *StressEEResult) Table() string {
+	headers := []string{"replicas", "cores", "sim_s", "exchange_s", "ttc_s", "wall_ms"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			di(w.Replicas), di(w.Cores), f1(w.SimSec), f2(w.ExchangeSec), f1(w.TTCSec), f1(w.WallMS),
+		})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts the stress-tier shape: over the weak-scaling prefix
+// (replicas = cores) the simulation span stays flat while the exchange
+// grows linearly with replicas (Figure 6's behaviour, extended to 8192);
+// the oversubscribed tail point must take an extra wave — between 1.5x
+// and 3x the weak-prefix simulation span — and still complete exactly.
+func (r *StressEEResult) Check() error {
+	var weakSim, reps, exch []float64
+	var over []StressEEPoint
+	for _, w := range r.Rows {
+		reps = append(reps, float64(w.Replicas))
+		exch = append(exch, w.ExchangeSec)
+		if w.Replicas == w.Cores {
+			weakSim = append(weakSim, w.SimSec)
+		} else {
+			over = append(over, w)
+		}
+	}
+	if len(weakSim) < 2 {
+		return fmt.Errorf("stress ee: need at least two weak-scaling rows, got %d", len(weakSim))
+	}
+	if spread, err := stats.RelSpread(weakSim); err != nil || spread > 0.30 {
+		return fmt.Errorf("stress ee: weak-prefix simulation time not flat: spread=%.3f err=%v", spread, err)
+	}
+	slope, _, r2, err := stats.LinearFit(reps, exch)
+	if err != nil {
+		return err
+	}
+	if slope <= 0 || r2 < 0.99 {
+		return fmt.Errorf("stress ee: exchange not linear in replicas (slope=%.5f r2=%.4f)", slope, r2)
+	}
+	base := stats.Mean(weakSim)
+	for _, w := range over {
+		waves := float64((w.Replicas + w.Cores - 1) / w.Cores)
+		if w.SimSec < (waves-0.5)*base || w.SimSec > (waves+1.0)*base {
+			return fmt.Errorf("stress ee: oversubscribed %d-replica sim span %.1fs, want ~%.0f waves of %.1fs",
+				w.Replicas, w.SimSec, waves, base)
+		}
+	}
+	return nil
+}
+
+// StressEoPPoint is one EoP stress configuration.
+type StressEoPPoint struct {
+	Pipelines       int
+	Stages          int
+	Tasks           int
+	TTCSec          float64
+	ExecSec         float64
+	PatternOvhSec   float64
+	WallMS          float64
+	UnitsPerSecWall float64 // simulated units per wall-clock second
+}
+
+// StressEoPResult holds the EoP stress sweep.
+type StressEoPResult struct {
+	Rows []StressEoPPoint
+}
+
+// StressEoP runs the EoP stress sweep: up to 10240 two-stage pipelines on
+// the 8192-core machine, submitted phase-batched (BulkStages) — each
+// stage is one bulk submission of up to 10240 units, the hardest single
+// event the agent scheduler sees anywhere in the tree.
+func StressEoP(sizes []int) (*StressEoPResult, error) {
+	if sizes == nil {
+		sizes = StressEoPSizes
+	}
+	res := &StressEoPResult{}
+	for _, n := range sizes {
+		t0 := time.Now()
+		rep, err := runOnFreshClock(StressMachine, StressCores, func() core.Pattern {
+			return &core.EnsembleOfPipelines{
+				Pipelines:  n,
+				Stages:     stressEoPStages,
+				BulkStages: true,
+				StageKernel: func(stage, pipe int) *core.Kernel {
+					return &core.Kernel{
+						Name:   "misc.sleep",
+						Params: map[string]float64{"seconds": stressEoPSeconds},
+					}
+				},
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stress eop n=%d: %w", n, err)
+		}
+		wall := time.Since(t0)
+		res.Rows = append(res.Rows, StressEoPPoint{
+			Pipelines:       n,
+			Stages:          stressEoPStages,
+			Tasks:           rep.Tasks,
+			TTCSec:          rep.TTC.Seconds(),
+			ExecSec:         rep.ExecTime().Seconds(),
+			PatternOvhSec:   rep.PatternOverhead.Seconds(),
+			WallMS:          float64(wall) / float64(time.Millisecond),
+			UnitsPerSecWall: float64(rep.Tasks) / wall.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *StressEoPResult) Table() string {
+	headers := []string{"pipelines", "stages", "tasks", "ttc_s", "exec_s", "pattern_ovh_s", "wall_ms", "units/s(wall)"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			di(w.Pipelines), di(w.Stages), di(w.Tasks),
+			f1(w.TTCSec), f1(w.ExecSec), f1(w.PatternOvhSec), f1(w.WallMS), f1(w.UnitsPerSecWall),
+		})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts exact accounting at 10k scale: every task ran (no
+// retries, no losses), the pattern overhead is the client-side submission
+// cost of every unit, and each stage's span is the expected number of
+// waves of the per-task runtime (plus bounded launcher stagger).
+func (r *StressEoPResult) Check() error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("stress eop: no rows")
+	}
+	for _, w := range r.Rows {
+		if w.Tasks != w.Pipelines*w.Stages {
+			return fmt.Errorf("stress eop: %d pipelines x %d stages produced %d tasks",
+				w.Pipelines, w.Stages, w.Tasks)
+		}
+		waves := float64((w.Pipelines + StressCores - 1) / StressCores)
+		wantExec := waves * stressEoPSeconds * float64(w.Stages)
+		// Launcher stagger bound: each wave pays at most
+		// pipelines/launcherWidth launch latencies before the last task
+		// starts; 5s of slack per stage is generous at these parameters.
+		if w.ExecSec < wantExec || w.ExecSec > wantExec+5*float64(w.Stages) {
+			return fmt.Errorf("stress eop: %d pipelines exec %.1fs, want ~%.1fs (%v waves/stage)",
+				w.Pipelines, w.ExecSec, wantExec, waves)
+		}
+		if w.TTCSec < w.ExecSec+w.PatternOvhSec {
+			return fmt.Errorf("stress eop: TTC %.1fs < exec %.1fs + pattern overhead %.1fs",
+				w.TTCSec, w.ExecSec, w.PatternOvhSec)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestStressEoPSweep runs the full 10k-pipeline EoP stress sweep and
+// verifies its figure checks — the acceptance gate that the indexed
+// scheduler sustains 10k+ tasks under go test.
+func TestStressEoPSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress tier skipped in -short mode")
+	}
+	res, err := StressEoP(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("%v\n%s", err, res.Table())
+	}
+}
+
+// TestStressEESweep runs the EE weak-scaling stress sweep up to the
+// oversubscribed 10240-replica point and verifies its figure checks.
+func TestStressEESweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress tier skipped in -short mode")
+	}
+	res, err := StressEE(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("%v\n%s", err, res.Table())
+	}
+}
+
+// TestStressEoPSmall keeps a scaled-down stress point in the -short tier
+// so the path stays covered everywhere.
+func TestStressEoPSmall(t *testing.T) {
+	res, err := StressEoP([]int{512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("%v\n%s", err, res.Table())
+	}
+}

@@ -1,0 +1,60 @@
+package entk_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"entk"
+)
+
+// runParityEoP executes the parity workload — a 2048-unit single-stage
+// ensemble on a 1024-core Stampede pilot — on either the seed-equivalent
+// rescan scheduler or the indexed scheduler.
+func runParityEoP(t *testing.T, rescan bool) *entk.Report {
+	t.Helper()
+	v := entk.NewClock()
+	rcfg := entk.DefaultRuntimeConfig()
+	rcfg.Rescan = rescan
+	h, err := entk.NewResourceHandle("xsede.stampede", 1024, 1000*time.Hour,
+		entk.Config{Clock: v, Runtime: rcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *entk.Report
+	var runErr error
+	v.Run(func() {
+		rep, runErr = h.Execute(&entk.EnsembleOfPipelines{
+			Pipelines: 2048,
+			Stages:    1,
+			StageKernel: func(int, int) *entk.Kernel {
+				return &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 5}}
+			},
+		})
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return rep
+}
+
+// TestIndexedSchedulerReportParity is the throughput-refactor regression
+// gate: the indexed agent scheduler must be a wall-time optimisation
+// only. Running the same 2048-unit ensemble on the seed-equivalent rescan
+// path and on the indexed path must produce bit-identical reports — same
+// TTC, same phase spans and busy times, same task and retry counts — or
+// the refactor changed simulated behaviour, not just speed.
+func TestIndexedSchedulerReportParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parity test skipped in -short mode (rescan path is slow by design)")
+	}
+	rescan := runParityEoP(t, true)
+	indexed := runParityEoP(t, false)
+	if !reflect.DeepEqual(rescan, indexed) {
+		t.Errorf("reports diverge between schedulers:\nrescan:\n%v\nindexed:\n%v", rescan, indexed)
+	}
+	// Guard against the vacuous pass: the workload must actually have run.
+	if indexed.Tasks != 2048 || indexed.TTC <= 0 {
+		t.Errorf("parity workload did not run: tasks=%d ttc=%v", indexed.Tasks, indexed.TTC)
+	}
+}
