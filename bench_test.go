@@ -257,7 +257,8 @@ func BenchmarkAblationAgentScheduler(b *testing.B) {
 // Engine micro-benchmarks: the simulator itself
 
 // BenchmarkVirtualClockTimers measures the DES engine's timer throughput:
-// how fast the virtual clock processes sleep/wake cycles.
+// how fast the virtual clock processes sleep/wake cycles, on the default
+// direct-handoff engine (hierarchical timer wheel).
 func BenchmarkVirtualClockTimers(b *testing.B) {
 	v := vclock.NewVirtual()
 	b.ReportAllocs()
@@ -268,10 +269,28 @@ func BenchmarkVirtualClockTimers(b *testing.B) {
 	})
 }
 
+// BenchmarkVirtualClockTimersRef is the same loop on the reference engine
+// (global mutex + binary timer heap) — the in-tree A/B for the engine's
+// timer path.
+func BenchmarkVirtualClockTimersRef(b *testing.B) {
+	v := vclock.NewVirtualEngine(vclock.EngineRef)
+	b.ReportAllocs()
+	v.Run(func() {
+		for i := 0; i < b.N; i++ {
+			v.Sleep(time.Millisecond)
+		}
+	})
+}
+
 // BenchmarkPilotUnitThroughput measures how many compute units per second
 // (wall time) the simulated runtime pushes through a pilot, on the
-// default indexed agent scheduler. The workload is defined once in
-// internal/workload so entk-bench records the same thing.
+// default scheduler configuration. At this workload's 16-node scale the
+// adaptive crossover (pilot.linearScanMaxNodes) resolves to the linear
+// scan, so this benchmark and its Rescan twin measure the same placement
+// code — the point of the crossover is precisely that small pilots never
+// pay the index; the segment-tree path is measured by BenchmarkStress10k
+// (1024 nodes). The workload is defined once in internal/workload so
+// entk-bench records the same thing.
 func BenchmarkPilotUnitThroughput(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -283,13 +302,28 @@ func BenchmarkPilotUnitThroughput(b *testing.B) {
 }
 
 // BenchmarkPilotUnitThroughputRescan is the same workload on the seed's
-// rescan scheduler (pilot.Config.Rescan) — the in-tree A/B for the
-// indexed scheduler's speedup. Placements and simulated time are
-// identical (TestIndexedSchedulerReportParity); only wall time differs.
+// rescan configuration (pilot.Config.Rescan). Placements and simulated
+// time are identical (TestIndexedSchedulerReportParity), and since the
+// crossover (see above) both legs also run the same placement code at
+// this scale — any sustained gap between the two is measurement noise.
 func BenchmarkPilotUnitThroughputRescan(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := workload.PilotThroughput(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(workload.ThroughputUnits)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkPilotUnitThroughputRefEngine is the same workload on the
+// reference vclock engine (indexed scheduler) — the in-tree A/B for the
+// direct-handoff engine's speedup. Simulated time is identical
+// (TestEngineReportParity); only wall time differs.
+func BenchmarkPilotUnitThroughputRefEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := workload.PilotThroughputOn(false, vclock.EngineRef); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -305,6 +339,24 @@ func BenchmarkStress10k(b *testing.B) {
 	var units int
 	for i := 0; i < b.N; i++ {
 		res, err := workload.StressEoP([]int{10240})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		units = res.Rows[0].Tasks
+	}
+	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkStress10kRefEngine is the 10k stress point on the reference
+// vclock engine — the engine A/B at the tree's hardest scale.
+func BenchmarkStress10kRefEngine(b *testing.B) {
+	b.ReportAllocs()
+	var units int
+	for i := 0; i < b.N; i++ {
+		res, err := workload.StressEoPOn([]int{10240}, vclock.EngineRef)
 		if err != nil {
 			b.Fatal(err)
 		}

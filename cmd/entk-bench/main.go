@@ -10,8 +10,11 @@
 //	entk-bench -fig 5          # one figure
 //	entk-bench -ablation all   # ablations only
 //	entk-bench -stress         # the beyond-paper 10k-task stress tier
-//	entk-bench -stress -json BENCH_PR1.json
+//	entk-bench -stress -json BENCH_PR2.json
 //	                           # also record throughput + stress metrics
+//	entk-bench -engine ref     # run on the reference vclock engine
+//	entk-bench -cpuprofile entk.prof -stress
+//	                           # write a pprof CPU profile of the run
 package main
 
 import (
@@ -20,19 +23,55 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"time"
 
+	"entk/internal/vclock"
 	"entk/internal/workload"
 )
+
+// stopProfile flushes the -cpuprofile output; fatalf routes every fatal
+// exit through it, since log.Fatalf's os.Exit skips deferred handlers —
+// without this the profile of a failing run (the one worth inspecting)
+// would be left truncated.
+var stopProfile = func() {}
+
+func fatalf(format string, v ...interface{}) {
+	stopProfile()
+	log.Fatalf(format, v...)
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number to run (3-9); 0 runs everything")
 	ablation := flag.String("ablation", "", "ablation to run: exchange, backfill, dispatch, placement, or all")
 	stress := flag.Bool("stress", false, "run the 10k-task stress tier (EE weak scaling + bulk EoP)")
 	jsonPath := flag.String("json", "", "write throughput and stress metrics to this JSON file")
+	engineName := flag.String("engine", "handoff", "vclock engine to run on: handoff or ref")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.Parse()
 
 	log.SetFlags(0)
+	eng, err := vclock.ParseEngine(*engineName)
+	if err != nil {
+		fatalf("entk-bench: %v", err)
+	}
+	workload.DefaultEngine = eng
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("entk-bench: cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("entk-bench: cpuprofile: %v", err)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
+
 	runAll := *fig == 0 && *ablation == "" && !*stress && *jsonPath == ""
 
 	figures := map[int]func() error{
@@ -52,17 +91,17 @@ func main() {
 	if *fig != 0 {
 		run, ok := figures[*fig]
 		if !ok {
-			log.Fatalf("entk-bench: no figure %d (have 3-9)", *fig)
+			fatalf("entk-bench: no figure %d (have 3-9)", *fig)
 		}
 		if err := run(); err != nil {
-			log.Fatalf("entk-bench: %v", err)
+			fatalf("entk-bench: %v", err)
 		}
 	}
 
 	if runAll {
 		for f := 3; f <= 9; f++ {
 			if err := figures[f](); err != nil {
-				log.Fatalf("entk-bench: figure %d: %v", f, err)
+				fatalf("entk-bench: figure %d: %v", f, err)
 			}
 		}
 	}
@@ -73,13 +112,13 @@ func main() {
 			which = "all"
 		}
 		if err := printAblations(which); err != nil {
-			log.Fatalf("entk-bench: %v", err)
+			fatalf("entk-bench: %v", err)
 		}
 	}
 
 	if *stress || *jsonPath != "" {
 		if err := runStress(*jsonPath); err != nil {
-			log.Fatalf("entk-bench: stress: %v", err)
+			fatalf("entk-bench: stress: %v", err)
 		}
 	}
 }
@@ -90,6 +129,7 @@ func main() {
 // throughputMetric is one wall-clock measurement of the unit-throughput
 // workload (the BenchmarkPilotUnitThroughput configuration).
 type throughputMetric struct {
+	Engine    string  `json:"engine"`
 	Scheduler string  `json:"scheduler"`
 	Units     int     `json:"units"`
 	Cores     int     `json:"cores"`
@@ -99,34 +139,41 @@ type throughputMetric struct {
 
 // benchMetrics is the schema of the BENCH_PR<N>.json trajectory files.
 type benchMetrics struct {
-	Generated  string                    `json:"generated"`
-	Notes      string                    `json:"notes"`
-	Throughput []throughputMetric        `json:"pilot_unit_throughput"`
-	StressEoP  []workload.StressEoPPoint `json:"stress_eop"`
-	StressEE   []workload.StressEEPoint  `json:"stress_ee_weak"`
+	Generated    string                    `json:"generated"`
+	Notes        string                    `json:"notes"`
+	StressEngine string                    `json:"stress_engine"`
+	Throughput   []throughputMetric        `json:"pilot_unit_throughput"`
+	StressEoP    []workload.StressEoPPoint `json:"stress_eop"`
+	StressEE     []workload.StressEEPoint  `json:"stress_ee_weak"`
 }
 
 // metricsNotes documents how to read the numbers.
 const metricsNotes = "wall-clock numbers from the machine that generated this file; " +
-	"indexed vs rescan swap only the placement index (both run the incremental agent), " +
-	"so they differ most under fragmented mixed-size queues — the seed-vs-PR comparison " +
+	"the throughput matrix sweeps vclock engine (handoff vs ref) x agent scheduler config " +
+	"(indexed vs rescan) — all four produce bit-identical simulated reports " +
+	"(TestEngineReportParity), only wall time differs; NOTE: at this workload's scale " +
+	"(256 cores = 16 nodes) the indexed config's adaptive crossover selects the linear " +
+	"scan, so its two scheduler legs run the same placement code and differ only by " +
+	"noise — the segment-tree path is measured by the stress rows (1024 nodes) and " +
+	"BenchmarkStress10k; stress rows run on stress_engine; the seed-vs-PR comparison " +
 	"per PR is recorded in CHANGES.md"
 
-// measureThroughput runs workload.PilotThroughput — the exact workload
+// measureThroughput runs workload.PilotThroughputOn — the exact workload
 // BenchmarkPilotUnitThroughput times — `runs` times on the selected
-// scheduler and returns wall units/s.
-func measureThroughput(rescan bool, runs int) (throughputMetric, error) {
+// engine and scheduler and returns wall units/s.
+func measureThroughput(eng vclock.Engine, rescan bool, runs int) (throughputMetric, error) {
 	name := "indexed"
 	if rescan {
 		name = "rescan"
 	}
 	t0 := time.Now()
 	for i := 0; i < runs; i++ {
-		if err := workload.PilotThroughput(rescan); err != nil {
+		if err := workload.PilotThroughputOn(rescan, eng); err != nil {
 			return throughputMetric{}, err
 		}
 	}
 	return throughputMetric{
+		Engine:    eng.String(),
 		Scheduler: name,
 		Units:     workload.ThroughputUnits,
 		Cores:     workload.ThroughputCores,
@@ -163,17 +210,20 @@ func runStress(jsonPath string) error {
 		return nil
 	}
 	metrics := benchMetrics{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Notes:     metricsNotes,
-		StressEoP: eop.Rows,
-		StressEE:  ee.Rows,
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Notes:        metricsNotes,
+		StressEngine: workload.DefaultEngine.String(),
+		StressEoP:    eop.Rows,
+		StressEE:     ee.Rows,
 	}
-	for _, rescan := range []bool{false, true} {
-		m, err := measureThroughput(rescan, 20)
-		if err != nil {
-			return err
+	for _, eng := range []vclock.Engine{vclock.EngineHandoff, vclock.EngineRef} {
+		for _, rescan := range []bool{false, true} {
+			m, err := measureThroughput(eng, rescan, 20)
+			if err != nil {
+				return err
+			}
+			metrics.Throughput = append(metrics.Throughput, m)
 		}
-		metrics.Throughput = append(metrics.Throughput, m)
 	}
 	buf, err := json.MarshalIndent(metrics, "", "  ")
 	if err != nil {

@@ -1,0 +1,44 @@
+package entk_test
+
+import (
+	"reflect"
+	"testing"
+
+	"entk"
+)
+
+// TestEngineReportParity is the vclock-engine regression gate, the
+// engine-level analogue of TestIndexedSchedulerReportParity: the
+// direct-handoff engine must be a wall-time optimisation only. The same
+// 2048-unit ensemble, run on every engine × agent-scheduler combination,
+// must produce bit-identical reports — same TTC, same phase spans and
+// busy times, same task and retry counts — or the engine rebuild changed
+// simulated behaviour, not just speed.
+func TestEngineReportParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine parity skipped in -short mode (rescan legs are slow by design)")
+	}
+	type leg struct {
+		name   string
+		rescan bool
+		eng    entk.ClockEngine
+	}
+	legs := []leg{
+		{"handoff/indexed", false, entk.EngineHandoff},
+		{"handoff/rescan", true, entk.EngineHandoff},
+		{"ref/indexed", false, entk.EngineRef},
+		{"ref/rescan", true, entk.EngineRef},
+	}
+	base := runParityEoPOn(t, legs[0].rescan, legs[0].eng)
+	// Guard against the vacuous pass: the workload must actually have run.
+	if base.Tasks != 2048 || base.TTC <= 0 {
+		t.Fatalf("parity workload did not run: tasks=%d ttc=%v", base.Tasks, base.TTC)
+	}
+	for _, l := range legs[1:] {
+		got := runParityEoPOn(t, l.rescan, l.eng)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("report diverges on %s vs %s:\nbase:\n%v\ngot:\n%v",
+				l.name, legs[0].name, base, got)
+		}
+	}
+}

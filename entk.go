@@ -75,6 +75,8 @@ type (
 	StagingDirective = stage.Directive
 	// Clock is the simulation clock applications run under.
 	Clock = vclock.Virtual
+	// ClockEngine selects the discrete-event core behind a Clock.
+	ClockEngine = vclock.Engine
 	// RuntimeConfig tunes the pilot runtime.
 	RuntimeConfig = pilot.Config
 	// KernelRegistry resolves kernels and their cost models.
@@ -111,8 +113,22 @@ const (
 	ScheduleLeastLoaded = pilot.LeastLoaded
 )
 
-// NewClock returns the virtual clock a simulation runs under.
+// Clock engine values (see NewClockEngine): the direct-handoff engine is
+// the default; the reference engine is the seed's global-mutex design,
+// kept as the semantic baseline the engine-parity tests compare against.
+const (
+	EngineHandoff = vclock.EngineHandoff
+	EngineRef     = vclock.EngineRef
+)
+
+// NewClock returns the virtual clock a simulation runs under, backed by
+// the default direct-handoff engine.
 func NewClock() *Clock { return vclock.NewVirtual() }
+
+// NewClockEngine returns a virtual clock backed by the selected engine.
+// Both engines produce bit-identical simulated time; they differ only in
+// wall-clock cost (see internal/vclock).
+func NewClockEngine(e ClockEngine) *Clock { return vclock.NewVirtualEngine(e) }
 
 // NewResourceHandle validates the resource request and prepares a handle.
 func NewResourceHandle(resource string, cores int, walltime time.Duration, cfg Config) (*ResourceHandle, error) {

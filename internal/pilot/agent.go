@@ -66,6 +66,16 @@ type agent struct {
 	dirty   bool
 	scratch []launchReq
 
+	// idle is a LIFO free list of executor workers whose chains ran dry:
+	// parked on plain channels and detached from the virtual clock, so
+	// they are invisible to the engine while idle, and a new scheduling
+	// wave re-attaches them instead of spawning fresh goroutines (whose
+	// stacks would have to regrow — 8k-goroutine waves made the runtime's
+	// stack machinery a top profile entry). Guarded by idleMu; drained by
+	// stop.
+	idleMu sync.Mutex
+	idle   *execSlot
+
 	// minNeedAny/minNeedMPI are conservative watermarks (never above the
 	// true minimum) of pending core needs: minNeedAny over all pending
 	// units, minNeedMPI over pending MPI units only. A completion whose
@@ -91,6 +101,14 @@ type runInfo struct {
 type launchReq struct {
 	u     *ComputeUnit
 	alloc allocation
+}
+
+// execSlot is one idle executor worker: a capacity-1 work channel (the
+// dispatcher must never block handing work to a parked worker) and the
+// free-list link. Allocated once per worker goroutine.
+type execSlot struct {
+	ch   chan launchReq
+	next *execSlot
 }
 
 func newAgent(p *ComputePilot) *agent {
@@ -146,6 +164,16 @@ func (a *agent) stop(cause error) {
 	doomed := a.pending
 	a.pending = nil
 	a.mu.Unlock()
+	// Drain the idle executor pool: closing each slot releases its
+	// parked (clock-detached) worker goroutine. stoppedFlag is already
+	// set, so a worker racing onto the list exits before parking.
+	a.idleMu.Lock()
+	idle := a.idle
+	a.idle = nil
+	a.idleMu.Unlock()
+	for w := idle; w != nil; w = w.next {
+		close(w.ch)
+	}
 	for _, u := range doomed {
 		u.finish(UnitFailed, cause)
 	}
@@ -279,7 +307,56 @@ func (a *agent) release(lr launchReq) (launchReq, bool) {
 // with inPass false and dirty true.
 func (a *agent) runPasses() {
 	if lr, ok := a.runPassesTakeOne(); ok {
-		a.sess.V.Go(func() { a.execute(lr) })
+		a.spawnExec(lr)
+	}
+}
+
+// spawnExec starts lr on an executor: an idle pooled worker when one is
+// parked, else a fresh goroutine. The worker is attached to the clock
+// before the handoff so the engine cannot advance past the pending work.
+func (a *agent) spawnExec(lr launchReq) {
+	a.idleMu.Lock()
+	w := a.idle
+	if w != nil {
+		a.idle = w.next
+	}
+	a.idleMu.Unlock()
+	if w != nil {
+		a.sess.V.Attach()
+		w.ch <- lr // never blocks: cap 1, worker is parked empty
+		return
+	}
+	a.sess.V.Go(func() { a.executorLoop(lr) })
+}
+
+// executorLoop is the body of one executor worker goroutine: run chains
+// (execute), and between chains park detached on the idle list until the
+// next wave dispatches work or stop drains the pool.
+func (a *agent) executorLoop(lr launchReq) {
+	var slot *execSlot
+	for {
+		a.execute(lr)
+		// Chain dry: park as an idle worker, invisible to the clock.
+		if slot == nil {
+			slot = &execSlot{ch: make(chan launchReq, 1)}
+		}
+		a.idleMu.Lock()
+		if a.stoppedFlag.Load() {
+			a.idleMu.Unlock()
+			return // still attached; Go's deregister balances
+		}
+		slot.next = a.idle
+		a.idle = slot
+		a.idleMu.Unlock()
+		a.sess.V.Detach()
+		next, ok := <-slot.ch
+		if !ok {
+			// Drained by stop: rejoin the clock so the enclosing Go
+			// wrapper's deregister stays balanced, then exit.
+			a.sess.V.Attach()
+			return
+		}
+		lr = next
 	}
 }
 
@@ -302,8 +379,7 @@ func (a *agent) runPassesTakeOne() (launchReq, bool) {
 				first, haveFirst = lr, true
 				continue
 			}
-			lr := lr
-			a.sess.V.Go(func() { a.execute(lr) })
+			a.spawnExec(lr)
 		}
 		a.mu.Lock()
 	}
@@ -448,7 +524,11 @@ func (a *agent) reservationLocked(headNeed int) (shadow time.Duration, extra int
 // lifecycle, releases its allocation, and — when the release's pass hands
 // one back — continues directly with a successor unit, so a saturated
 // pilot reuses one goroutine per core chain instead of spawning one per
-// unit.
+// unit. The chain is also what feeds the vclock engine's direct-handoff
+// fast path: the successor's launcher Acquire and first Sleep issue from
+// an already-running process, so same-instant block→wake pairs (launcher
+// release racing the next acquire) resolve by token handoff instead of a
+// park/unpark round trip through the Go scheduler.
 func (a *agent) execute(lr launchReq) {
 	for {
 		a.executeUnit(lr.u)

@@ -80,12 +80,22 @@ type scheduler interface {
 	nodeFree() []int
 }
 
+// linearScanMaxNodes is the adaptive crossover of the indexed scheduler:
+// at or below this node count a placement attempt's linear scan is a
+// handful of contiguous int reads and beats the segment tree's pointer
+// walk on constant factor (BENCH_PR1.json recorded the indexed scheduler
+// 21% behind rescan at 256 cores / 16 nodes). Both implementations make
+// identical placement decisions (TestSchedulerImplEquivalence), so the
+// crossover is invisible to simulated time.
+const linearScanMaxNodes = 32
+
 // newScheduler builds the scheduler for an initial per-node capacity
 // layout. pack selects the node-packing rule (Backfill packs first-fit;
 // its queue discipline lives in the agent). rescan selects the reference
-// implementation.
+// implementation; small layouts use the linear scan either way (see
+// linearScanMaxNodes).
 func newScheduler(nodes []int, pack Placement, rescan bool) scheduler {
-	if rescan {
+	if rescan || len(nodes) <= linearScanMaxNodes {
 		return newRescanSched(nodes, pack)
 	}
 	return newIndexedSched(nodes, pack)
@@ -272,29 +282,41 @@ func (s *indexedSched) setFree(i, free int) {
 	}
 }
 
-// leftmost returns the lowest node index >= from with free >= need, or -1.
+// leftmost returns the lowest node index >= from with free >= need, or
+// -1. It walks the tree iteratively — climb right from the `from` leaf
+// until a subtree's max qualifies, then descend to its leftmost
+// qualifying leaf — cutting the recursive version's call overhead on the
+// placement hot path.
 func (s *indexedSched) leftmost(need, from int) int {
-	if need > s.tree[1] {
+	if from >= len(s.nodes) || s.tree[1] < need {
 		return -1
 	}
-	return s.descend(1, 0, s.leafBase, need, from)
-}
-
-func (s *indexedSched) descend(node, lo, hi, need, from int) int {
-	if hi <= from || s.tree[node] < need {
-		return -1
-	}
-	if hi-lo == 1 {
-		if lo < len(s.nodes) {
-			return lo
+	p := s.leafBase + from
+	for {
+		if s.tree[p] >= need {
+			for p < s.leafBase {
+				if s.tree[2*p] >= need {
+					p = 2 * p
+				} else {
+					p = 2*p + 1
+				}
+			}
+			if i := p - s.leafBase; i < len(s.nodes) {
+				return i
+			}
+			return -1 // zero-padded tail leaf (need 0 never queried)
 		}
-		return -1
+		// Advance to the subtree covering the indices just right of the
+		// range checked so far: climb while a right child, then step to
+		// the sibling.
+		for p&1 == 1 {
+			p >>= 1
+			if p <= 1 {
+				return -1
+			}
+		}
+		p++
 	}
-	mid := (lo + hi) / 2
-	if got := s.descend(2*node, lo, mid, need, from); got >= 0 {
-		return got
-	}
-	return s.descend(2*node+1, mid, hi, need, from)
 }
 
 // bucketMin returns the lowest node index whose free count is exactly v,

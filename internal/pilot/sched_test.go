@@ -43,6 +43,40 @@ func schedMatrix() []schedCase {
 	return out
 }
 
+// newSchedImpl constructs the implementation named by the matrix entry
+// directly, bypassing newScheduler's small-layout crossover — the suite's
+// test layouts are small, and the indexed implementation must stay
+// covered regardless of the crossover constant.
+func newSchedImpl(caps []int, pack Placement, rescan bool) scheduler {
+	if rescan {
+		return newRescanSched(caps, pack)
+	}
+	return newIndexedSched(caps, pack)
+}
+
+// TestSchedulerCrossover pins newScheduler's adaptive crossover: small
+// layouts take the linear scan even on the indexed configuration, large
+// layouts take the index, and the rescan flag always wins.
+func TestSchedulerCrossover(t *testing.T) {
+	small := make([]int, linearScanMaxNodes)
+	large := make([]int, linearScanMaxNodes+1)
+	for i := range small {
+		small[i] = 4
+	}
+	for i := range large {
+		large[i] = 4
+	}
+	if _, ok := newScheduler(small, FirstFit, false).(*rescanSched); !ok {
+		t.Error("small indexed layout did not cross over to the linear scan")
+	}
+	if _, ok := newScheduler(large, FirstFit, false).(*indexedSched); !ok {
+		t.Error("large indexed layout did not use the index")
+	}
+	if _, ok := newScheduler(large, FirstFit, true).(*rescanSched); !ok {
+		t.Error("rescan flag did not select the reference implementation")
+	}
+}
+
 // checkSchedState asserts the node-state invariants against a capacity
 // layout.
 func checkSchedState(t *testing.T, s scheduler, caps []int) {
@@ -75,7 +109,7 @@ func TestSchedulerPlacementInvariants(t *testing.T) {
 	caps := []int{4, 4, 4, 4}
 	for _, tc := range schedMatrix() {
 		t.Run(tc.name, func(t *testing.T) {
-			s := newScheduler(caps, tc.pack, tc.rescan)
+			s := newSchedImpl(caps, tc.pack, tc.rescan)
 			if got := s.capacity(); got != 16 {
 				t.Fatalf("capacity = %d, want 16", got)
 			}
@@ -149,8 +183,8 @@ func TestSchedulerImplEquivalence(t *testing.T) {
 	for _, pack := range []Placement{FirstFit, BestFit, Backfill} {
 		t.Run(pack.String(), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(42))
-			ref := newScheduler(caps, pack, true)
-			idx := newScheduler(caps, pack, false)
+			ref := newSchedImpl(caps, pack, true)
+			idx := newSchedImpl(caps, pack, false)
 			type held struct{ r, x allocation }
 			var live []held
 			for op := 0; op < 5000; op++ {

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"entk/internal/pad"
 	"entk/internal/vclock"
 )
 
@@ -27,19 +28,27 @@ type Event struct {
 // of events). Chunks start small — a stripe that only ever sees a few
 // events costs little — and double up to profChunkMax.
 const (
-	profChunkMin = 128
-	profChunkMax = 4096
+	profChunkMin = 256
+	profChunkMax = 8192
 )
 
 // profStripes shards the profiler by entity so concurrent recorders (one
 // per executing unit) do not serialize on one mutex. Power of two.
 const profStripes = 16
 
-// stripe is one shard: a mutex and its chunked event log.
+// stripe is one shard: a mutex, its chunked event log, and a spare chunk
+// so rotation inside the critical section never allocates. The stripes
+// are cache-line padded: recorders hammer adjacent stripes from many
+// goroutines, and false sharing between their mutexes costs more than
+// the append they guard. Allocating under mu was worse still — a GC
+// assist triggered by the chunk allocation while the lock was held
+// convoyed every concurrent recorder onto the stripe mutex.
 type stripe struct {
 	mu     sync.Mutex
 	chunks [][]Event
+	spare  []Event
 	n      int
+	_      pad.Line
 }
 
 // Profiler accumulates events. It is safe for concurrent use. Events are
@@ -66,25 +75,51 @@ func stripeFor(entity string) uint32 {
 	return h & (profStripes - 1)
 }
 
-// Record appends an event for entity at the current time.
+// Record appends an event for entity at the current time. The critical
+// section is append-only: when a chunk fills, the pre-allocated spare is
+// swapped in and its replacement is built after unlock.
 func (p *Profiler) Record(entity, name string) {
 	t := p.clock.Now()
 	s := &p.stripes[stripeFor(entity)]
 	s.mu.Lock()
 	last := len(s.chunks) - 1
 	if last < 0 || len(s.chunks[last]) == cap(s.chunks[last]) {
-		size := profChunkMin
-		if last >= 0 {
-			if size = 2 * cap(s.chunks[last]); size > profChunkMax {
-				size = profChunkMax
-			}
+		if s.spare == nil {
+			// First event on this stripe (or the spare was consumed and
+			// lost a race to replacement): allocate under mu, once.
+			s.spare = make([]Event, 0, p.nextChunkSize(s, last))
 		}
-		s.chunks = append(s.chunks, make([]Event, 0, size))
+		s.chunks = append(s.chunks, s.spare)
+		s.spare = nil
 		last++
 	}
 	s.chunks[last] = append(s.chunks[last], Event{Entity: entity, Name: name, T: t})
 	s.n++
+	needSpare := s.spare == nil && len(s.chunks[last]) == cap(s.chunks[last])
+	var size int
+	if needSpare {
+		size = p.nextChunkSize(s, last)
+	}
 	s.mu.Unlock()
+	if needSpare {
+		next := make([]Event, 0, size)
+		s.mu.Lock()
+		if s.spare == nil {
+			s.spare = next
+		}
+		s.mu.Unlock()
+	}
+}
+
+// nextChunkSize doubles the chunk size up to the cap. Caller holds mu.
+func (p *Profiler) nextChunkSize(s *stripe, last int) int {
+	size := profChunkMin
+	if last >= 0 {
+		if size = 2 * cap(s.chunks[last]); size > profChunkMax {
+			size = profChunkMax
+		}
+	}
+	return size
 }
 
 // forEach visits all events, stripe by stripe, in per-entity insertion

@@ -3,20 +3,33 @@ package vclock
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
+
+// The blocking primitives. Each primitive owns its waiter bookkeeping
+// behind its own mutex and talks to the engine only through park/wake, so
+// under the direct-handoff engine two unrelated primitives never contend
+// on a shared lock, and settled-state reads (Event.Fired, a fired Wait, a
+// zero WaitGroup Wait) are single atomic loads with no lock at all. The
+// protocol every primitive follows:
+//
+//	block:  publish a waiter in the primitive's list (under its lock),
+//	        release the lock, then park. Any handoff data the parker
+//	        reads after park (queue item, ok flag) is written by the
+//	        waker before wake.
+//	wake:   pop the waiter (under the lock), release the lock, write the
+//	        handoff data, then wake. Each waiter is woken exactly once.
 
 // Event is a one-shot broadcast flag on a virtual clock, analogous to
 // closing a channel. Wait blocks the calling process until Fire is called;
-// once fired, Wait returns immediately forever after. The wake channel is
-// created lazily by the first blocked waiter, so events that fire before
-// anyone waits (or are never waited on) cost a single struct — hosts may
-// also embed an Event value and Init it in place.
+// once fired, Wait returns immediately forever after — a lockless atomic
+// check. Hosts may also embed an Event value and Init it in place.
 type Event struct {
 	v       *Virtual
 	name    string
-	fired   bool
-	waiting int
-	ch      chan struct{}
+	fired   atomic.Bool
+	mu      sync.Mutex
+	waiters []*waiter
 }
 
 // NewEvent returns an unfired Event. The name appears in deadlock reports.
@@ -33,52 +46,56 @@ func (e *Event) Init(v *Virtual, name string) {
 	e.name = name
 }
 
-// Fired reports whether the event has been fired.
+// Fired reports whether the event has been fired. Settled state is read
+// with a single atomic load: no lock.
 func (e *Event) Fired() bool {
-	e.v.mu.Lock()
-	defer e.v.mu.Unlock()
-	return e.fired
+	return e.fired.Load()
 }
 
 // Fire marks the event fired and wakes all waiters. Firing twice is a
 // harmless no-op.
 func (e *Event) Fire() {
-	e.v.mu.Lock()
-	if !e.fired {
-		e.fired = true
-		e.v.wake(e.waiting)
-		e.waiting = 0
-		if e.ch != nil {
-			close(e.ch)
-		}
+	e.mu.Lock()
+	if e.fired.Load() {
+		e.mu.Unlock()
+		return
 	}
-	e.v.mu.Unlock()
+	e.fired.Store(true)
+	ws := e.waiters
+	e.waiters = nil
+	e.mu.Unlock()
+	for _, w := range ws {
+		e.v.eng.wake(w)
+	}
 }
 
 // Wait blocks the calling process until the event fires.
 func (e *Event) Wait() {
-	e.v.mu.Lock()
-	if e.fired {
-		e.v.mu.Unlock()
+	if e.fired.Load() {
+		return // settled: no lock
+	}
+	e.mu.Lock()
+	if e.fired.Load() {
+		e.mu.Unlock()
 		return
 	}
-	if e.ch == nil {
-		e.ch = make(chan struct{})
-	}
-	e.waiting++
-	tok := e.v.blockOn(func() string { return "event " + e.name })
-	e.v.mu.Unlock()
-	<-e.ch
-	e.v.mu.Lock()
-	e.v.unblocked(tok)
-	e.v.mu.Unlock()
+	w := getWaiter()
+	e.waiters = append(e.waiters, w)
+	e.mu.Unlock()
+	e.v.eng.park(w, e)
+	putWaiter(w)
 }
 
-// WaitGroup is the virtual-time analogue of sync.WaitGroup.
+// blockDesc implements descSource for the deadlock report.
+func (e *Event) blockDesc(*waiter) string { return "event " + e.name }
+
+// WaitGroup is the virtual-time analogue of sync.WaitGroup. A Wait on a
+// zero counter is a lockless atomic check.
 type WaitGroup struct {
 	v     *Virtual
 	name  string
-	count int
+	count atomic.Int64
+	mu    sync.Mutex
 	done  *Event
 }
 
@@ -90,20 +107,18 @@ func NewWaitGroup(v *Virtual, name string) *WaitGroup {
 // Add adds delta (which may be negative) to the counter. If the counter
 // reaches zero, waiters are released; if it goes negative, Add panics.
 func (wg *WaitGroup) Add(delta int) {
-	wg.v.mu.Lock()
-	wg.count += delta
-	if wg.count < 0 {
-		wg.v.mu.Unlock()
+	n := wg.count.Add(int64(delta))
+	if n < 0 {
 		panic("vclock: negative WaitGroup counter")
 	}
-	var release *Event
-	if wg.count == 0 && wg.done != nil {
-		release = wg.done
+	if n == 0 {
+		wg.mu.Lock()
+		release := wg.done
 		wg.done = nil
-	}
-	wg.v.mu.Unlock()
-	if release != nil {
-		release.Fire()
+		wg.mu.Unlock()
+		if release != nil {
+			release.Fire()
+		}
 	}
 }
 
@@ -112,16 +127,19 @@ func (wg *WaitGroup) Done() { wg.Add(-1) }
 
 // Wait blocks the calling process until the counter is zero.
 func (wg *WaitGroup) Wait() {
-	wg.v.mu.Lock()
-	if wg.count == 0 {
-		wg.v.mu.Unlock()
+	if wg.count.Load() == 0 {
+		return // settled: no lock
+	}
+	wg.mu.Lock()
+	if wg.count.Load() == 0 {
+		wg.mu.Unlock()
 		return
 	}
 	if wg.done == nil {
-		wg.done = &Event{v: wg.v, name: "waitgroup " + wg.name, ch: make(chan struct{})}
+		wg.done = NewEvent(wg.v, "waitgroup "+wg.name)
 	}
 	ev := wg.done
-	wg.v.mu.Unlock()
+	wg.mu.Unlock()
 	ev.Wait()
 }
 
@@ -131,18 +149,10 @@ func (wg *WaitGroup) Wait() {
 type Queue struct {
 	v       *Virtual
 	name    string
+	mu      sync.Mutex
 	buf     []interface{}
-	waiters []*qwaiter // FIFO consumers, each handed one item
+	waiters []*waiter // FIFO consumers, each handed one item
 	closed  bool
-}
-
-type qwaiter struct {
-	ch chan qresult
-}
-
-type qresult struct {
-	item interface{}
-	ok   bool
 }
 
 // NewQueue returns an empty open queue.
@@ -153,54 +163,55 @@ func NewQueue(v *Virtual, name string) *Queue {
 // Put appends an item, handing it directly to the oldest waiting consumer
 // if one exists. Put on a closed queue panics.
 func (q *Queue) Put(item interface{}) {
-	q.v.mu.Lock()
+	q.mu.Lock()
 	if q.closed {
-		q.v.mu.Unlock()
+		q.mu.Unlock()
 		panic("vclock: Put on closed queue " + q.name)
 	}
 	if len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
-		q.v.wake(1)
-		q.v.mu.Unlock()
-		w.ch <- qresult{item, true}
+		q.mu.Unlock()
+		w.item, w.ok = item, true
+		q.v.eng.wake(w)
 		return
 	}
 	q.buf = append(q.buf, item)
-	q.v.mu.Unlock()
+	q.mu.Unlock()
 }
 
 // Get removes and returns the oldest item. It blocks the calling process
 // until an item is available or the queue is closed and drained, in which
 // case it returns (nil, false).
 func (q *Queue) Get() (interface{}, bool) {
-	q.v.mu.Lock()
+	q.mu.Lock()
 	if len(q.buf) > 0 {
 		item := q.buf[0]
 		q.buf = q.buf[1:]
-		q.v.mu.Unlock()
+		q.mu.Unlock()
 		return item, true
 	}
 	if q.closed {
-		q.v.mu.Unlock()
+		q.mu.Unlock()
 		return nil, false
 	}
-	w := &qwaiter{ch: make(chan qresult, 1)}
+	w := getWaiter()
 	q.waiters = append(q.waiters, w)
-	tok := q.v.blockOn(func() string { return "queue " + q.name })
-	q.v.mu.Unlock()
-	r := <-w.ch
-	q.v.mu.Lock()
-	q.v.unblocked(tok)
-	q.v.mu.Unlock()
-	return r.item, r.ok
+	q.mu.Unlock()
+	q.v.eng.park(w, q)
+	item, ok := w.item, w.ok
+	putWaiter(w)
+	return item, ok
 }
+
+// blockDesc implements descSource for the deadlock report.
+func (q *Queue) blockDesc(*waiter) string { return "queue " + q.name }
 
 // TryGet removes and returns the oldest item without blocking. ok is false
 // if the queue is empty.
 func (q *Queue) TryGet() (interface{}, bool) {
-	q.v.mu.Lock()
-	defer q.v.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	if len(q.buf) == 0 {
 		return nil, false
 	}
@@ -211,26 +222,26 @@ func (q *Queue) TryGet() (interface{}, bool) {
 
 // Len reports the number of buffered items.
 func (q *Queue) Len() int {
-	q.v.mu.Lock()
-	defer q.v.mu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	return len(q.buf)
 }
 
 // Close marks the queue closed and releases all blocked consumers with
 // ok=false. Closing twice is a no-op.
 func (q *Queue) Close() {
-	q.v.mu.Lock()
+	q.mu.Lock()
 	if q.closed {
-		q.v.mu.Unlock()
+		q.mu.Unlock()
 		return
 	}
 	q.closed = true
 	ws := q.waiters
 	q.waiters = nil
-	q.v.wake(len(ws))
-	q.v.mu.Unlock()
+	q.mu.Unlock()
 	for _, w := range ws {
-		w.ch <- qresult{nil, false}
+		w.item, w.ok = nil, false
+		q.v.eng.wake(w)
 	}
 }
 
@@ -238,19 +249,9 @@ func (q *Queue) Close() {
 type Semaphore struct {
 	v       *Virtual
 	name    string
+	mu      sync.Mutex
 	avail   int
-	waiters []*swaiter
-}
-
-type swaiter struct {
-	n  int
-	ch chan struct{} // pooled capacity-1 channel, signalled by send
-}
-
-// swaiterPool recycles semaphore waiters; launcher semaphores park once
-// per task, which made the waiter the engine's second-largest allocation.
-var swaiterPool = sync.Pool{
-	New: func() interface{} { return &swaiter{ch: make(chan struct{}, 1)} },
+	waiters []*waiter // FIFO; each waiter's n is its permit request
 }
 
 // NewSemaphore returns a semaphore with n initially available permits.
@@ -267,25 +268,24 @@ func (s *Semaphore) Acquire(n int) {
 	if n <= 0 {
 		return
 	}
-	s.v.mu.Lock()
+	s.mu.Lock()
 	if len(s.waiters) == 0 && s.avail >= n {
 		s.avail -= n
-		s.v.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	w := swaiterPool.Get().(*swaiter)
+	w := getWaiter()
 	w.n = n
+	w.aux = s.avail // availability snapshot for the deadlock report
 	s.waiters = append(s.waiters, w)
-	avail := s.avail
-	tok := s.v.blockOn(func() string {
-		return fmt.Sprintf("semaphore %s (acquire %d, avail %d)", s.name, n, avail)
-	})
-	s.v.mu.Unlock()
-	<-w.ch
-	s.v.mu.Lock()
-	s.v.unblocked(tok)
-	s.v.mu.Unlock()
-	swaiterPool.Put(w)
+	s.mu.Unlock()
+	s.v.eng.park(w, s)
+	putWaiter(w)
+}
+
+// blockDesc implements descSource for the deadlock report.
+func (s *Semaphore) blockDesc(w *waiter) string {
+	return fmt.Sprintf("semaphore %s (acquire %d, avail %d)", s.name, w.n, w.aux)
 }
 
 // TryAcquire takes n permits only if immediately available, reporting
@@ -294,8 +294,8 @@ func (s *Semaphore) TryAcquire(n int) bool {
 	if n <= 0 {
 		return true
 	}
-	s.v.mu.Lock()
-	defer s.v.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.waiters) == 0 && s.avail >= n {
 		s.avail -= n
 		return true
@@ -308,26 +308,25 @@ func (s *Semaphore) Release(n int) {
 	if n <= 0 {
 		return
 	}
-	s.v.mu.Lock()
+	s.mu.Lock()
 	s.avail += n
-	var served []*swaiter
+	var served []*waiter
 	for len(s.waiters) > 0 && s.waiters[0].n <= s.avail {
 		w := s.waiters[0]
 		s.waiters = s.waiters[1:]
 		s.avail -= w.n
 		served = append(served, w)
 	}
-	s.v.wake(len(served))
-	s.v.mu.Unlock()
+	s.mu.Unlock()
 	for _, w := range served {
-		w.ch <- struct{}{} // never blocks: cap 1, exactly one acquirer
+		s.v.eng.wake(w)
 	}
 }
 
 // Available reports the number of free permits.
 func (s *Semaphore) Available() int {
-	s.v.mu.Lock()
-	defer s.v.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.avail
 }
 
@@ -338,6 +337,7 @@ type Barrier struct {
 	v       *Virtual
 	name    string
 	parties int
+	mu      sync.Mutex
 	arrived int
 	round   int
 	gen     *Event
@@ -356,20 +356,20 @@ func NewBarrier(v *Virtual, name string, parties int) *Barrier {
 // Await blocks the calling process until all parties have arrived, then
 // returns the round number that just completed.
 func (b *Barrier) Await() int {
-	b.v.mu.Lock()
+	b.mu.Lock()
 	round := b.round
 	b.arrived++
 	if b.arrived == b.parties {
 		release := b.gen
 		b.arrived = 0
 		b.round++
-		b.gen = &Event{v: b.v, name: fmt.Sprintf("barrier %s round %d", b.name, b.round), ch: make(chan struct{})}
-		b.v.mu.Unlock()
+		b.gen = NewEvent(b.v, fmt.Sprintf("barrier %s round %d", b.name, b.round))
+		b.mu.Unlock()
 		release.Fire()
 		return round
 	}
 	ev := b.gen
-	b.v.mu.Unlock()
+	b.mu.Unlock()
 	ev.Wait()
 	return round
 }

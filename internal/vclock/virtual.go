@@ -1,54 +1,46 @@
 package vclock
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// Virtual is a discrete-event virtual clock.
-//
-// Processes are goroutines registered with Go or Run. The clock tracks how
-// many registered processes are runnable; when the count drops to zero it
-// advances time to the earliest pending timer and wakes its sleepers. If no
-// timer is pending and blocked waiters remain, the simulation is deadlocked
-// and the engine panics with a dump of what everyone is waiting on. The
-// panic is raised on whichever goroutine blocked last: recoverable when
-// that is the Run caller, fatal (by design — it is a programming-error
-// diagnostic) when it is a spawned process.
-//
-// The zero value is not usable; construct with NewVirtual.
-type Virtual struct {
+// refEngine is the reference discrete-event core (EngineRef): the seed's
+// design of one global mutex, an integer runnable count, and a binary
+// timer heap. Every operation — sleep, park, wake — serializes on mu,
+// which makes the invariants easy to audit: the runnable count, the heap,
+// and the blocked table can never be observed mid-update. The
+// direct-handoff engine (handoff.go) must stay bit-identical to this one
+// in simulated time; only wall-clock cost may differ.
+type refEngine struct {
 	mu sync.Mutex
-	// now mirrors nowAtomic; the atomic copy lets Now() — which sits on
+	// cur mirrors nowAtomic; the atomic copy lets now() — which sits on
 	// the profiler's per-event hot path — avoid taking mu. Only advance()
 	// writes time, under mu.
-	now       time.Duration
+	cur       time.Duration
 	nowAtomic atomic.Int64
 	runnable  int
 	timers    timerHeap
 	seq       int64
-	// blocked tracks descriptions of processes blocked on non-timer
-	// primitives, keyed by a unique token, for deadlock diagnostics. The
-	// descriptions are lazy closures so the (rare) deadlock report pays
-	// for formatting, not every block on the hot path.
-	blocked map[int64]func() string
+	// blocked tracks processes blocked on non-timer primitives, keyed by
+	// their waiter, for deadlock diagnostics. The descriptions are lazy
+	// descSources so the (rare) deadlock report pays for formatting, not
+	// every block on the hot path.
+	blocked map[*waiter]descSource
 	// dead marks the clock as having detected a deadlock; all further
 	// accounting becomes a no-op so the panic can unwind (and deferred
 	// exits can run) without corrupting or re-locking the engine.
 	dead bool
 }
 
-// NewVirtual returns a virtual clock at time zero with no processes.
-func NewVirtual() *Virtual {
-	return &Virtual{blocked: make(map[int64]func() string)}
+func newRefEngine() *refEngine {
+	return &refEngine{blocked: make(map[*waiter]descSource)}
 }
 
-// Now returns the current virtual time.
-func (v *Virtual) Now() time.Duration {
+func (v *refEngine) kind() Engine { return EngineRef }
+
+func (v *refEngine) now() time.Duration {
 	return time.Duration(v.nowAtomic.Load())
 }
 
@@ -59,16 +51,13 @@ var timerPool = sync.Pool{
 	New: func() interface{} { return &timer{ch: make(chan struct{}, 1)} },
 }
 
-// Sleep suspends the calling process for d of virtual time. The caller must
-// be a registered process (spawned via Go or running inside Run); otherwise
-// the runnable accounting is corrupted.
-func (v *Virtual) Sleep(d time.Duration) {
+func (v *refEngine) sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
 	t := timerPool.Get().(*timer)
 	v.mu.Lock()
-	t.deadline = v.now + d
+	t.deadline = v.cur + d
 	t.seq = v.nextSeq()
 	v.timers.push(t)
 	v.becomeBlocked()
@@ -77,84 +66,85 @@ func (v *Virtual) Sleep(d time.Duration) {
 	timerPool.Put(t)
 }
 
-// Go spawns fn as a new registered process. It may be called from inside or
-// outside the simulation; the process is counted as runnable from the
-// moment Go returns, so the clock cannot advance past work that fn is about
-// to do.
-func (v *Virtual) Go(fn func()) {
+func (v *refEngine) register() {
 	v.mu.Lock()
 	v.runnable++
 	v.mu.Unlock()
-	go func() {
-		defer v.exit()
-		fn()
-	}()
 }
 
-// Run executes fn inline as a registered process and returns when fn
-// returns. It is the usual entry point: tests and binaries call
-// v.Run(func(){ ... }) and spawn further processes with v.Go from inside.
-func (v *Virtual) Run(fn func()) {
+func (v *refEngine) deregister() {
+	v.mu.Lock()
+	v.becomeBlocked()
+	v.mu.Unlock()
+}
+
+// park transitions the calling process to blocked (recording src for the
+// deadlock report), advances the clock if it was the last runnable
+// process, and waits for the matching wake.
+func (v *refEngine) park(w *waiter, src descSource) {
+	v.mu.Lock()
+	if src != nil {
+		v.blocked[w] = src
+	}
+	v.becomeBlocked()
+	v.mu.Unlock()
+	<-w.ch
+	if src != nil {
+		v.mu.Lock()
+		delete(v.blocked, w)
+		v.mu.Unlock()
+	}
+}
+
+// wake marks the process parked on w runnable again and signals it. The
+// waker is itself a running registered process (or the advance loop), so
+// the clock cannot be mid-jump.
+func (v *refEngine) wake(w *waiter) {
 	v.mu.Lock()
 	v.runnable++
 	v.mu.Unlock()
-	defer v.exit()
-	fn()
-}
-
-// exit deregisters the calling process.
-func (v *Virtual) exit() {
-	v.mu.Lock()
-	v.becomeBlockedNoWait()
-	v.mu.Unlock()
+	w.ch <- struct{}{} // never blocks: cap 1, exactly one parker
 }
 
 // nextSeq returns a fresh sequence number. Caller holds mu.
-func (v *Virtual) nextSeq() int64 {
+func (v *refEngine) nextSeq() int64 {
 	v.seq++
 	return v.seq
 }
 
 // becomeBlocked transitions the calling process from runnable to blocked
 // and, if it was the last runnable process, advances the clock. Caller
-// holds mu and must wait on its wake channel after unlocking.
-func (v *Virtual) becomeBlocked() {
-	v.becomeBlockedNoWait()
-}
-
-func (v *Virtual) becomeBlockedNoWait() {
+// holds mu.
+func (v *refEngine) becomeBlocked() {
 	if v.dead {
 		return
 	}
 	v.runnable--
 	if v.runnable < 0 {
-		panic("vclock: runnable count underflow (blocking call from unregistered goroutine?)")
+		panic(underflowPanic)
 	}
 	if v.runnable == 0 {
 		v.advance()
 	}
 }
 
-// wake marks n processes runnable again. Caller holds mu and must signal
-// the woken processes itself. The waker is either a runnable process or the
-// advance loop, so the clock cannot be mid-jump.
-func (v *Virtual) wake(n int) {
-	v.runnable += n
-}
-
 // advance jumps virtual time to the earliest pending timer deadline and
 // fires every timer sharing that deadline. Caller holds mu, and the
 // runnable count is zero. If there are no timers but blocked waiters
 // remain, the simulation can never make progress: panic with diagnostics.
-func (v *Virtual) advance() {
+func (v *refEngine) advance() {
 	for v.runnable == 0 {
 		if len(v.timers) == 0 {
 			if len(v.blocked) > 0 {
 				// Fatal: no process can ever run again. Mark the engine
 				// dead and release the mutex before panicking so that
 				// deferred exits on the unwinding goroutine (Run's
-				// v.exit, callers' cleanup) do not self-deadlock on mu.
-				msg := v.deadlockReport()
+				// deregister, callers' cleanup) do not self-deadlock on mu.
+				descs := make([]string, 0, len(v.blocked))
+				for w, src := range v.blocked {
+					descs = append(descs, src.blockDesc(w))
+				}
+				msg := formatDeadlock(v.cur, descs)
 				v.dead = true
 				v.mu.Unlock()
 				panic(msg)
@@ -162,10 +152,10 @@ func (v *Virtual) advance() {
 			return // simulation quiescent: all processes finished
 		}
 		deadline := v.timers[0].deadline
-		if deadline < v.now {
+		if deadline < v.cur {
 			panic("vclock: timer deadline in the past")
 		}
-		v.now = deadline
+		v.cur = deadline
 		v.nowAtomic.Store(int64(deadline))
 		for len(v.timers) > 0 && v.timers[0].deadline == deadline {
 			t := v.timers.pop()
@@ -173,42 +163,6 @@ func (v *Virtual) advance() {
 			t.ch <- struct{}{} // never blocks: cap 1, exactly one sleeper
 		}
 	}
-}
-
-// deadlockReport formats the blocked-waiter table for the deadlock panic.
-// Caller holds mu.
-func (v *Virtual) deadlockReport() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "vclock: deadlock at t=%v: no runnable process, no pending timer, %d blocked waiter(s):",
-		v.now, len(v.blocked))
-	descs := make([]string, 0, len(v.blocked))
-	for _, d := range v.blocked {
-		descs = append(descs, d())
-	}
-	sort.Strings(descs)
-	for _, d := range descs {
-		b.WriteString("\n  - ")
-		b.WriteString(d)
-	}
-	return b.String()
-}
-
-// blockOn records that the calling process is blocked on the primitive
-// described by desc (formatted only if a deadlock report is built),
-// transitions it to blocked, and returns a token to pass to unblocked
-// once it resumes. Caller holds mu.
-func (v *Virtual) blockOn(desc func() string) int64 {
-	tok := v.nextSeq()
-	v.blocked[tok] = desc
-	v.becomeBlocked()
-	return tok
-}
-
-// unblocked clears the diagnostic entry for a process that has resumed.
-// Caller holds mu. The wake(n) call that made the process runnable again
-// must have happened already.
-func (v *Virtual) unblocked(tok int64) {
-	delete(v.blocked, tok)
 }
 
 // timer is a pending virtual-time wakeup. Timers are pooled: ch is a

@@ -32,11 +32,22 @@ var (
 	Fig9CPS   = []int{1, 16, 32, 64} // cores per simulation
 )
 
+// DefaultEngine is the vclock engine the figure and stress runners use.
+// entk-bench's -engine flag sets it once at startup (before any runner
+// executes); tests that need a specific engine use the *On variants
+// instead of mutating it.
+var DefaultEngine = vclock.EngineHandoff
+
 // runOnFreshClock executes one pattern on a dedicated virtual clock and
 // resource handle, returning the report. Every experiment point runs in
 // its own simulated world so points are independent and deterministic.
 func runOnFreshClock(resource string, cores int, build func() core.Pattern) (*core.Report, error) {
-	v := vclock.NewVirtual()
+	return runOnFreshClockEngine(resource, cores, DefaultEngine, build)
+}
+
+// runOnFreshClockEngine is runOnFreshClock on an explicit vclock engine.
+func runOnFreshClockEngine(resource string, cores int, eng vclock.Engine, build func() core.Pattern) (*core.Report, error) {
+	v := vclock.NewVirtualEngine(eng)
 	h, err := core.NewResourceHandle(resource, cores, 10000*time.Hour, core.Config{Clock: v})
 	if err != nil {
 		return nil, err

@@ -40,7 +40,14 @@ const (
 // one-stage pipelines of one-second sleeps through a ThroughputCores-core
 // Stampede pilot, on the indexed (rescan=false) or reference scheduler.
 func PilotThroughput(rescan bool) error {
-	v := vclock.NewVirtual()
+	return PilotThroughputOn(rescan, DefaultEngine)
+}
+
+// PilotThroughputOn is PilotThroughput on an explicit vclock engine, the
+// unit of measurement behind the engine × scheduler throughput matrix in
+// BENCH_PR<N>.json.
+func PilotThroughputOn(rescan bool, eng vclock.Engine) error {
+	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.Rescan = rescan
 	h, err := core.NewResourceHandle("xsede.stampede", ThroughputCores, 1000*time.Hour,
@@ -48,13 +55,16 @@ func PilotThroughput(rescan bool) error {
 	if err != nil {
 		return err
 	}
+	// One kernel instance for every task: bind never mutates the kernel,
+	// and sharing keeps the per-task allocation off the measured path.
+	kernel := &core.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 1}}
 	var runErr error
 	v.Run(func() {
 		_, runErr = h.Execute(&core.EnsembleOfPipelines{
 			Pipelines: ThroughputUnits,
 			Stages:    1,
 			StageKernel: func(int, int) *core.Kernel {
-				return &core.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 1}}
+				return kernel
 			},
 		})
 	})
@@ -95,6 +105,11 @@ type StressEEResult struct {
 // more replicas than cores — the pilot capability (decoupling workload
 // size from resource size) at 10k scale.
 func StressEE(sizes []int) (*StressEEResult, error) {
+	return StressEEOn(sizes, DefaultEngine)
+}
+
+// StressEEOn is StressEE on an explicit vclock engine.
+func StressEEOn(sizes []int, eng vclock.Engine) (*StressEEResult, error) {
 	if sizes == nil {
 		sizes = StressEESizes
 	}
@@ -104,22 +119,26 @@ func StressEE(sizes []int) (*StressEEResult, error) {
 		if cores > StressCores {
 			cores = StressCores
 		}
+		// Shared kernel instances (bind never mutates them): at 10k scale
+		// the per-task kernel+params allocation is measurable GC pressure.
+		simKernel := &core.Kernel{
+			Name:   "md.amber",
+			Params: map[string]float64{"atoms": alanineAtoms, "ps": eePS},
+		}
+		exchKernel := &core.Kernel{
+			Name:   "md.remd_exchange",
+			Params: map[string]float64{"replicas": float64(n)},
+		}
 		t0 := time.Now()
-		rep, err := runOnFreshClock(StressMachine, cores, func() core.Pattern {
+		rep, err := runOnFreshClockEngine(StressMachine, cores, eng, func() core.Pattern {
 			return &core.EnsembleExchange{
 				Replicas: n,
 				Cycles:   1,
 				SimulationKernel: func(cycle, r int) *core.Kernel {
-					return &core.Kernel{
-						Name:   "md.amber",
-						Params: map[string]float64{"atoms": alanineAtoms, "ps": eePS},
-					}
+					return simKernel
 				},
 				ExchangeKernel: func(cycle int) *core.Kernel {
-					return &core.Kernel{
-						Name:   "md.remd_exchange",
-						Params: map[string]float64{"replicas": float64(n)},
-					}
+					return exchKernel
 				},
 			}
 		})
@@ -213,22 +232,29 @@ type StressEoPResult struct {
 // stage is one bulk submission of up to 10240 units, the hardest single
 // event the agent scheduler sees anywhere in the tree.
 func StressEoP(sizes []int) (*StressEoPResult, error) {
+	return StressEoPOn(sizes, DefaultEngine)
+}
+
+// StressEoPOn is StressEoP on an explicit vclock engine.
+func StressEoPOn(sizes []int, eng vclock.Engine) (*StressEoPResult, error) {
 	if sizes == nil {
 		sizes = StressEoPSizes
 	}
 	res := &StressEoPResult{}
 	for _, n := range sizes {
+		// One kernel for all tasks (bind never mutates it): see StressEE.
+		kernel := &core.Kernel{
+			Name:   "misc.sleep",
+			Params: map[string]float64{"seconds": stressEoPSeconds},
+		}
 		t0 := time.Now()
-		rep, err := runOnFreshClock(StressMachine, StressCores, func() core.Pattern {
+		rep, err := runOnFreshClockEngine(StressMachine, StressCores, eng, func() core.Pattern {
 			return &core.EnsembleOfPipelines{
 				Pipelines:  n,
 				Stages:     stressEoPStages,
 				BulkStages: true,
 				StageKernel: func(stage, pipe int) *core.Kernel {
-					return &core.Kernel{
-						Name:   "misc.sleep",
-						Params: map[string]float64{"seconds": stressEoPSeconds},
-					}
+					return kernel
 				},
 			}
 		})

@@ -10,10 +10,15 @@ import (
 
 // runParityEoP executes the parity workload — a 2048-unit single-stage
 // ensemble on a 1024-core Stampede pilot — on either the seed-equivalent
-// rescan scheduler or the indexed scheduler.
+// rescan scheduler or the indexed scheduler (default clock engine).
 func runParityEoP(t *testing.T, rescan bool) *entk.Report {
+	return runParityEoPOn(t, rescan, entk.EngineHandoff)
+}
+
+// runParityEoPOn is runParityEoP on an explicit clock engine.
+func runParityEoPOn(t *testing.T, rescan bool, eng entk.ClockEngine) *entk.Report {
 	t.Helper()
-	v := entk.NewClock()
+	v := entk.NewClockEngine(eng)
 	rcfg := entk.DefaultRuntimeConfig()
 	rcfg.Rescan = rescan
 	h, err := entk.NewResourceHandle("xsede.stampede", 1024, 1000*time.Hour,
