@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"entk/internal/profile"
 	"entk/internal/stats"
 	"entk/internal/vclock"
 	"entk/internal/workload"
@@ -346,6 +347,55 @@ func BenchmarkStress10k(b *testing.B) {
 			b.Fatal(err)
 		}
 		units = res.Rows[0].Tasks
+	}
+	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkStress100k runs the 100k tier's hardest point — 102400
+// single-stage pipelines bulk-submitted to a 65536-core pilot, two waves —
+// and reports simulated units per wall second. The tier exists because the
+// columnar interned profiler cut the per-event GC-scanned footprint from
+// ~40 B (two string headers) to 16 pointer-free bytes; before that the
+// profiler was the largest allocation source at this scale.
+func BenchmarkStress100k(b *testing.B) {
+	b.ReportAllocs()
+	var units int
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Stress100k([]int{102400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		units = res.Rows[0].Tasks
+	}
+	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkStress100kProfRef is the 100k point on the seed string-backed
+// profiler layout (profile.LayoutRef) — the in-tree A/B for the columnar
+// layout's allocation win at the scale it was built for. Simulated columns
+// are identical (TestProfilerLayoutParity); allocs/op and wall time are
+// the difference under measurement.
+func BenchmarkStress100kProfRef(b *testing.B) {
+	b.ReportAllocs()
+	var units int
+	for i := 0; i < b.N; i++ {
+		err := workload.WithProfLayout(profile.LayoutRef, func() error {
+			res, err := workload.Stress100k([]int{102400})
+			if err != nil {
+				return err
+			}
+			if err := res.Check(); err != nil {
+				return err
+			}
+			units = res.Rows[0].Tasks
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
 }

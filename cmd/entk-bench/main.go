@@ -9,9 +9,10 @@
 //	entk-bench                 # all figures and ablations
 //	entk-bench -fig 5          # one figure
 //	entk-bench -ablation all   # ablations only
-//	entk-bench -stress         # the beyond-paper 10k-task stress tier
-//	entk-bench -stress -json BENCH_PR2.json
-//	                           # also record throughput + stress metrics
+//	entk-bench -stress         # the beyond-paper 10k + 100k stress tiers
+//	entk-bench -stress -json BENCH_PR3.json
+//	                           # also record throughput, memory (allocs/op,
+//	                           # bytes/op, peak heap), and stress metrics
 //	entk-bench -engine ref     # run on the reference vclock engine
 //	entk-bench -cpuprofile entk.prof -stress
 //	                           # write a pprof CPU profile of the run
@@ -23,9 +24,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"entk/internal/profile"
 	"entk/internal/vclock"
 	"entk/internal/workload"
 )
@@ -44,7 +47,7 @@ func fatalf(format string, v ...interface{}) {
 func main() {
 	fig := flag.Int("fig", 0, "figure number to run (3-9); 0 runs everything")
 	ablation := flag.String("ablation", "", "ablation to run: exchange, backfill, dispatch, placement, or all")
-	stress := flag.Bool("stress", false, "run the 10k-task stress tier (EE weak scaling + bulk EoP)")
+	stress := flag.Bool("stress", false, "run the stress tiers (10k EE/EoP + the 100k tier)")
 	jsonPath := flag.String("json", "", "write throughput and stress metrics to this JSON file")
 	engineName := flag.String("engine", "handoff", "vclock engine to run on: handoff or ref")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -127,58 +130,92 @@ func main() {
 // Stress tier and metrics recording
 
 // throughputMetric is one wall-clock measurement of the unit-throughput
-// workload (the BenchmarkPilotUnitThroughput configuration).
+// workload (the BenchmarkPilotUnitThroughput configuration). Alongside
+// throughput it records the allocation profile of the runs — allocs and
+// bytes per simulated unit, and the peak live heap — so the trajectory
+// files capture memory wins (the columnar profiler) next to speed wins.
 type throughputMetric struct {
-	Engine    string  `json:"engine"`
-	Scheduler string  `json:"scheduler"`
-	Units     int     `json:"units"`
-	Cores     int     `json:"cores"`
-	Runs      int     `json:"runs"`
-	UnitsPerS float64 `json:"units_per_s_wall"`
+	Engine        string  `json:"engine"`
+	Scheduler     string  `json:"scheduler"`
+	ProfLayout    string  `json:"prof_layout"`
+	Units         int     `json:"units"`
+	Cores         int     `json:"cores"`
+	Runs          int     `json:"runs"`
+	UnitsPerS     float64 `json:"units_per_s_wall"`
+	AllocsPerUnit float64 `json:"allocs_per_unit"`
+	BytesPerUnit  float64 `json:"bytes_per_unit"`
+	PeakHeapMB    float64 `json:"peak_heap_mb"`
 }
 
 // benchMetrics is the schema of the BENCH_PR<N>.json trajectory files.
 type benchMetrics struct {
-	Generated    string                    `json:"generated"`
-	Notes        string                    `json:"notes"`
-	StressEngine string                    `json:"stress_engine"`
-	Throughput   []throughputMetric        `json:"pilot_unit_throughput"`
-	StressEoP    []workload.StressEoPPoint `json:"stress_eop"`
-	StressEE     []workload.StressEEPoint  `json:"stress_ee_weak"`
+	Generated     string                     `json:"generated"`
+	Notes         string                     `json:"notes"`
+	StressEngine  string                     `json:"stress_engine"`
+	Throughput    []throughputMetric         `json:"pilot_unit_throughput"`
+	StressEoP     []workload.StressEoPPoint  `json:"stress_eop"`
+	StressEE      []workload.StressEEPoint   `json:"stress_ee_weak"`
+	Stress100k    []workload.Stress100kPoint `json:"stress_100k"`
+	Stress100kRef []workload.Stress100kPoint `json:"stress_100k_prof_ref"`
 }
 
 // metricsNotes documents how to read the numbers.
 const metricsNotes = "wall-clock numbers from the machine that generated this file; " +
 	"the throughput matrix sweeps vclock engine (handoff vs ref) x agent scheduler config " +
-	"(indexed vs rescan) — all four produce bit-identical simulated reports " +
-	"(TestEngineReportParity), only wall time differs; NOTE: at this workload's scale " +
+	"(indexed vs rescan) x profiler layout (columnar vs ref) — all legs produce " +
+	"bit-identical simulated reports (TestEngineReportParity, TestProfilerLayoutParity), " +
+	"only wall time and allocation profile differ; NOTE: at this workload's scale " +
 	"(256 cores = 16 nodes) the indexed config's adaptive crossover selects the linear " +
 	"scan, so its two scheduler legs run the same placement code and differ only by " +
 	"noise — the segment-tree path is measured by the stress rows (1024 nodes) and " +
-	"BenchmarkStress10k; stress rows run on stress_engine; the seed-vs-PR comparison " +
-	"per PR is recorded in CHANGES.md"
+	"BenchmarkStress10k; allocs/bytes per unit and peak heap come from runtime.MemStats " +
+	"around the measured runs (peak sampled per run, so it is a lower bound on the true " +
+	"high-water mark); stress rows run on stress_engine; stress_100k vs " +
+	"stress_100k_prof_ref is the columnar-vs-seed profiler A/B at 100k tasks; the " +
+	"seed-vs-PR comparison per PR is recorded in CHANGES.md"
 
 // measureThroughput runs workload.PilotThroughputOn — the exact workload
 // BenchmarkPilotUnitThroughput times — `runs` times on the selected
-// engine and scheduler and returns wall units/s.
-func measureThroughput(eng vclock.Engine, rescan bool, runs int) (throughputMetric, error) {
+// engine, scheduler, and profiler layout, and returns wall units/s plus
+// the runs' allocation profile (allocs/op, bytes/op, peak live heap).
+func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, runs int) (throughputMetric, error) {
 	name := "indexed"
 	if rescan {
 		name = "rescan"
 	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	peakHeap := before.HeapAlloc
 	t0 := time.Now()
-	for i := 0; i < runs; i++ {
-		if err := workload.PilotThroughputOn(rescan, eng); err != nil {
-			return throughputMetric{}, err
+	err := workload.WithProfLayout(layout, func() error {
+		for i := 0; i < runs; i++ {
+			if err := workload.PilotThroughputOn(rescan, eng); err != nil {
+				return err
+			}
+			runtime.ReadMemStats(&after)
+			if after.HeapAlloc > peakHeap {
+				peakHeap = after.HeapAlloc
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return throughputMetric{}, err
 	}
+	elapsed := time.Since(t0)
+	units := workload.ThroughputUnits * runs
 	return throughputMetric{
-		Engine:    eng.String(),
-		Scheduler: name,
-		Units:     workload.ThroughputUnits,
-		Cores:     workload.ThroughputCores,
-		Runs:      runs,
-		UnitsPerS: float64(workload.ThroughputUnits*runs) / time.Since(t0).Seconds(),
+		Engine:        eng.String(),
+		Scheduler:     name,
+		ProfLayout:    layout.String(),
+		Units:         workload.ThroughputUnits,
+		Cores:         workload.ThroughputCores,
+		Runs:          runs,
+		UnitsPerS:     float64(units) / elapsed.Seconds(),
+		AllocsPerUnit: float64(after.Mallocs-before.Mallocs) / float64(units),
+		BytesPerUnit:  float64(after.TotalAlloc-before.TotalAlloc) / float64(units),
+		PeakHeapMB:    float64(peakHeap) / (1 << 20),
 	}, nil
 }
 
@@ -206,25 +243,60 @@ func runStress(jsonPath string) error {
 	fmt.Println("Stress: EE weak scaling + oversubscribed tail (sim.stress8k)")
 	fmt.Println(ee.Table())
 
+	s100k, err := workload.Stress100k(nil)
+	if err != nil {
+		return err
+	}
+	if err := s100k.Check(); err != nil {
+		return err
+	}
+	fmt.Println("Stress: 100k tier, bulk single-stage EoP (65536-core sim.stress64k)")
+	fmt.Println(s100k.Table())
+
 	if jsonPath == "" {
 		return nil
 	}
+
+	// The columnar-vs-seed profiler A/B at 100k tasks: simulated columns
+	// must match s100k's byte for byte (TestProfilerLayoutParity); only
+	// wall time differs, and the allocation delta shows in the throughput
+	// matrix's prof_layout legs.
+	var s100kRef *workload.Stress100kResult
+	err = workload.WithProfLayout(profile.LayoutRef, func() error {
+		var err error
+		if s100kRef, err = workload.Stress100k(nil); err != nil {
+			return err
+		}
+		return s100kRef.Check()
+	})
+	if err != nil {
+		return err
+	}
+
 	metrics := benchMetrics{
-		Generated:    time.Now().UTC().Format(time.RFC3339),
-		Notes:        metricsNotes,
-		StressEngine: workload.DefaultEngine.String(),
-		StressEoP:    eop.Rows,
-		StressEE:     ee.Rows,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		Notes:         metricsNotes,
+		StressEngine:  workload.DefaultEngine.String(),
+		StressEoP:     eop.Rows,
+		StressEE:      ee.Rows,
+		Stress100k:    s100k.Rows,
+		Stress100kRef: s100kRef.Rows,
 	}
 	for _, eng := range []vclock.Engine{vclock.EngineHandoff, vclock.EngineRef} {
 		for _, rescan := range []bool{false, true} {
-			m, err := measureThroughput(eng, rescan, 20)
+			m, err := measureThroughput(eng, rescan, profile.LayoutColumnar, 20)
 			if err != nil {
 				return err
 			}
 			metrics.Throughput = append(metrics.Throughput, m)
 		}
 	}
+	// The profiler-layout A/B on the default engine/scheduler config.
+	refLeg, err := measureThroughput(vclock.EngineHandoff, false, profile.LayoutRef, 20)
+	if err != nil {
+		return err
+	}
+	metrics.Throughput = append(metrics.Throughput, refLeg)
 	buf, err := json.MarshalIndent(metrics, "", "  ")
 	if err != nil {
 		return err

@@ -37,6 +37,7 @@ import (
 	"entk/internal/core"
 	"entk/internal/kernels"
 	"entk/internal/pilot"
+	"entk/internal/profile"
 	"entk/internal/stage"
 	"entk/internal/vclock"
 )
@@ -79,6 +80,9 @@ type (
 	ClockEngine = vclock.Engine
 	// RuntimeConfig tunes the pilot runtime.
 	RuntimeConfig = pilot.Config
+	// ProfilerLayout selects the profiler's event-storage layout
+	// (RuntimeConfig.ProfLayout).
+	ProfilerLayout = profile.Layout
 	// KernelRegistry resolves kernels and their cost models.
 	KernelRegistry = kernels.Registry
 	// KernelSpec defines a kernel plugin.
@@ -119,6 +123,15 @@ const (
 const (
 	EngineHandoff = vclock.EngineHandoff
 	EngineRef     = vclock.EngineRef
+)
+
+// Profiler event-storage layouts (RuntimeConfig.ProfLayout): the interned
+// columnar layout is the default; the reference layout is the seed's
+// string-backed store, kept as the baseline the layout-parity tests
+// compare against.
+const (
+	ProfLayoutColumnar = profile.LayoutColumnar
+	ProfLayoutRef      = profile.LayoutRef
 )
 
 // NewClock returns the virtual clock a simulation runs under, backed by

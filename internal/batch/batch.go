@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"entk/internal/cluster"
+	"entk/internal/pad"
+	"entk/internal/profile"
 	"entk/internal/vclock"
 )
 
@@ -95,7 +97,8 @@ type Job struct {
 	Req   Request
 	Nodes int // whole nodes allocated
 
-	sys *System
+	sys      *System
+	entityID profile.EntityID // interned "job.NNNN"; zero when unprofiled
 
 	mu         sync.Mutex
 	state      State
@@ -158,11 +161,27 @@ type System struct {
 	machine *cluster.Machine
 	policy  Policy
 
+	// prof, when set, receives job lifecycle events (submit / start /
+	// end) recorded with the pre-interned ids below — the queue-wait
+	// component of the TTC decomposition, reconstructed from the batch
+	// layer itself.
+	prof                     *profile.Profiler
+	evSubmit, evStart, evEnd profile.NameID
+
 	mu        sync.Mutex
 	nextID    int
 	freeNodes int
 	queue     []*Job                 // pending jobs in arrival order
 	running   map[*Job]time.Duration // job -> walltime deadline (virtual)
+}
+
+// SetProfiler wires lifecycle recording into p. The fixed event names are
+// interned once here; per-job entities are interned at submission.
+func (s *System) SetProfiler(p *profile.Profiler) {
+	s.prof = p
+	s.evSubmit = p.InternName("job_submit")
+	s.evStart = p.InternName("job_start")
+	s.evEnd = p.InternName("job_end")
 }
 
 // NewSystem creates a batch system for machine with the given policy.
@@ -217,10 +236,19 @@ func (s *System) Submit(req Request) (*Job, error) {
 		startEv:   vclock.NewEvent(s.v, fmt.Sprintf("batch job %d start", s.nextID)),
 		endEv:     vclock.NewEvent(s.v, fmt.Sprintf("batch job %d end", s.nextID)),
 	}
+	if s.prof != nil {
+		// Interned before the job is published: once it is in s.queue a
+		// concurrent schedule() may record job_start at the same virtual
+		// instant (zero-wait machines), so entityID must already be set.
+		j.entityID = s.prof.Intern("job." + pad.Int(j.ID, 4))
+	}
 	delay := s.machine.QueueWaitBase + time.Duration(nodes)*s.machine.QueueWaitPerNode
 	j.eligibleAt = s.v.Now() + delay
 	s.queue = append(s.queue, j)
 	s.mu.Unlock()
+	if s.prof != nil {
+		s.prof.RecordID(j.entityID, s.evSubmit)
+	}
 
 	// The queue-wait model: the job becomes schedulable only after its
 	// modelled delay, so even an empty machine imposes realistic waits.
@@ -264,6 +292,9 @@ func (s *System) schedule() {
 	s.mu.Unlock()
 
 	for _, j := range started {
+		if s.prof != nil {
+			s.prof.RecordID(j.entityID, s.evStart)
+		}
 		j.startEv.Fire()
 		s.armWalltime(j)
 	}
@@ -354,6 +385,9 @@ func (s *System) endJob(j *Job, final State) {
 	s.freeNodes += j.Nodes
 	s.mu.Unlock()
 
+	if s.prof != nil {
+		s.prof.RecordID(j.entityID, s.evEnd)
+	}
 	j.endEv.Fire()
 	s.schedule()
 }

@@ -137,6 +137,26 @@ var (
 		QueueWaitPerNode:  100 * time.Millisecond,
 	}
 
+	// Stress64k is a synthetic 65536-core machine (4096 nodes x 16 cores)
+	// for the 100k-task stress tier opened by the columnar profiler: the
+	// same latency profile as Stress8k so the two tiers differ only in
+	// scale, with the per-node queue-wait component dominating the fixed
+	// base by design (a 4096-node request models a near-whole-machine
+	// backfill wait).
+	Stress64k = Machine{
+		Name:              "sim.stress64k",
+		Nodes:             4096,
+		CoresPerNode:      16,
+		MemPerNodeGB:      64,
+		AgentBootTime:     30 * time.Second,
+		TaskLaunchLatency: 50 * time.Millisecond,
+		NetLatency:        10 * time.Millisecond,
+		FSBandwidthMBps:   1000,
+		FSLatency:         time.Millisecond,
+		QueueWaitBase:     30 * time.Second,
+		QueueWaitPerNode:  100 * time.Millisecond,
+	}
+
 	// Local is a workstation-scale machine for examples and quick tests:
 	// no queue wait, tiny latencies.
 	Local = Machine{
@@ -156,11 +176,12 @@ var (
 
 // registry maps resource labels to machine definitions.
 var registry = map[string]*Machine{
-	Comet.Name:    &Comet,
-	Stampede.Name: &Stampede,
-	SuperMIC.Name: &SuperMIC,
-	Stress8k.Name: &Stress8k,
-	Local.Name:    &Local,
+	Comet.Name:     &Comet,
+	Stampede.Name:  &Stampede,
+	SuperMIC.Name:  &SuperMIC,
+	Stress8k.Name:  &Stress8k,
+	Stress64k.Name: &Stress64k,
+	Local.Name:     &Local,
 }
 
 // Lookup returns the machine registered under name.

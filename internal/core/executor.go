@@ -8,6 +8,7 @@ import (
 
 	"entk/internal/pad"
 	"entk/internal/pilot"
+	"entk/internal/profile"
 	"entk/internal/vclock"
 )
 
@@ -54,6 +55,14 @@ type executor struct {
 	// the pattern overhead.
 	subLock *vclock.Semaphore
 
+	// Pattern-overhead profiler ids, interned once per executor: every
+	// tracked submission brackets itself on the "pattern" entity, so the
+	// growing overhead component of the TTC is reconstructible from
+	// events without per-batch string formatting.
+	prof                  *profile.Profiler
+	patEnt                profile.EntityID
+	evSubStart, evSubStop profile.NameID
+
 	mu              sync.Mutex
 	patternOverhead time.Duration
 	tasks           int
@@ -62,7 +71,7 @@ type executor struct {
 }
 
 func newExecutor(h *ResourceHandle, p Pattern) *executor {
-	return &executor{
+	ex := &executor{
 		h:       h,
 		pat:     p,
 		v:       h.cfg.Clock,
@@ -70,6 +79,11 @@ func newExecutor(h *ResourceHandle, p Pattern) *executor {
 		subLock: vclock.NewSemaphore(h.cfg.Clock, "core submit", 1),
 		phases:  newPhaseAccumulator(),
 	}
+	ex.prof = h.sess.Prof
+	ex.patEnt = ex.prof.Intern("pattern")
+	ex.evSubStart = ex.prof.InternName("submit_start")
+	ex.evSubStop = ex.prof.InternName("submit_stop")
+	return ex
 }
 
 // report assembles the final Report.
@@ -135,9 +149,11 @@ func (ex *executor) submitVia(specs []taskSpec, attempts []int,
 		descs[i] = s.k.bind(s.name, attempts[i])
 	}
 	ex.subLock.Acquire(1)
+	ex.prof.RecordID(ex.patEnt, ex.evSubStart)
 	t0 := ex.v.Now()
 	units, err := submit(descs)
 	dt := ex.v.Now() - t0
+	ex.prof.RecordID(ex.patEnt, ex.evSubStop)
 	ex.subLock.Release(1)
 	if err != nil {
 		return nil, err

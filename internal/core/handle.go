@@ -7,6 +7,7 @@ import (
 
 	"entk/internal/kernels"
 	"entk/internal/pilot"
+	"entk/internal/profile"
 	"entk/internal/vclock"
 )
 
@@ -71,6 +72,14 @@ type ResourceHandle struct {
 	um   *pilot.UnitManager
 	p    *pilot.ComputePilot
 
+	// Core-layer profiler ids, interned once at Allocate: the toolkit's
+	// own control-plane phases record onto the "core" entity so the TTC
+	// decomposition's constant overhead is reconstructible from events.
+	coreEnt                        profile.EntityID
+	evBootstrapDone, evPilotSubmit profile.NameID
+	evRunStart, evRunStop          profile.NameID
+	evDeallocStart, evDeallocStop  profile.NameID
+
 	mu           sync.Mutex
 	allocated    bool
 	allocCtl     time.Duration // control-plane time spent in Allocate
@@ -125,6 +134,15 @@ func (h *ResourceHandle) Allocate() error {
 	t0 := v.Now()
 	v.Sleep(h.cfg.InitOverhead) // toolkit bootstrap
 	h.sess = pilot.NewSession(v, h.cfg.Cost, h.cfg.Runtime)
+	prof := h.sess.Prof
+	h.coreEnt = prof.Intern("core")
+	h.evBootstrapDone = prof.InternName("bootstrap_done")
+	h.evPilotSubmit = prof.InternName("pilot_submitted")
+	h.evRunStart = prof.InternName("run_start")
+	h.evRunStop = prof.InternName("run_stop")
+	h.evDeallocStart = prof.InternName("dealloc_start")
+	h.evDeallocStop = prof.InternName("dealloc_stop")
+	prof.RecordID(h.coreEnt, h.evBootstrapDone)
 	h.pm = pilot.NewPilotManager(h.sess)
 	h.um = pilot.NewUnitManager(h.sess)
 	p, err := h.pm.Submit(pilot.PilotDescription{
@@ -142,6 +160,7 @@ func (h *ResourceHandle) Allocate() error {
 	}
 	h.p = p
 	h.um.AddPilot(p)
+	prof.RecordID(h.coreEnt, h.evPilotSubmit)
 	h.mu.Lock()
 	h.allocCtl = v.Now() - t0
 	h.mu.Unlock()
@@ -191,9 +210,11 @@ func (h *ResourceHandle) Run(p Pattern) (*Report, error) {
 
 	ex := newExecutor(h, p)
 	v := h.cfg.Clock
+	h.sess.Prof.RecordID(h.coreEnt, h.evRunStart)
 	t0 := v.Now()
 	err := ex.run()
 	ttc := v.Now() - t0
+	h.sess.Prof.RecordID(h.coreEnt, h.evRunStop)
 
 	rep := ex.report()
 	rep.TTC = ttc
@@ -218,11 +239,13 @@ func (h *ResourceHandle) Deallocate() error {
 	}
 	h.mu.Unlock()
 	v := h.cfg.Clock
+	h.sess.Prof.RecordID(h.coreEnt, h.evDeallocStart)
 	t0 := v.Now()
 	if h.p != nil {
 		h.p.Cancel()
 		h.p.WaitFinal()
 	}
+	h.sess.Prof.RecordID(h.coreEnt, h.evDeallocStop)
 	h.mu.Lock()
 	h.deallocCtl = v.Now() - t0
 	h.mu.Unlock()

@@ -547,6 +547,7 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	v := a.sess.V
 	m := a.pilot.backend.machine
 	prof := a.sess.Prof
+	vocab := &a.sess.vocab
 
 	// Launch: bounded concurrency, per-task latency.
 	a.launch.Acquire(1)
@@ -560,12 +561,12 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	// Input staging.
 	if len(u.Desc.InputStaging) > 0 {
 		u.setState(UnitStagingInput)
-		prof.Record(u.Entity(), "stagein_start")
+		prof.RecordID(u.entityID, vocab.evStageinStart)
 		if _, err := a.pilot.backend.mover.Run(u.Desc.InputStaging); err != nil {
 			u.finish(UnitFailed, fmt.Errorf("input staging: %w", err))
 			return
 		}
-		prof.Record(u.Entity(), "stagein_stop")
+		prof.RecordID(u.entityID, vocab.evStageinStop)
 	}
 
 	// Execution.
@@ -576,10 +577,10 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	}
 	u.setState(UnitExecuting)
 	start := v.Now()
-	prof.Record(u.Entity(), "exec_start")
+	prof.RecordID(u.entityID, vocab.evExecStart)
 	v.Sleep(dur)
 	stop := v.Now()
-	prof.Record(u.Entity(), "exec_stop")
+	prof.RecordID(u.entityID, vocab.evExecStop)
 	u.markExec(start, stop)
 
 	if u.Desc.FailOn != nil && u.Desc.FailOn(u.Desc.Attempt) {
@@ -601,12 +602,12 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	// Output staging.
 	if len(u.Desc.OutputStaging) > 0 {
 		u.setState(UnitStagingOutput)
-		prof.Record(u.Entity(), "stageout_start")
+		prof.RecordID(u.entityID, vocab.evStageoutStart)
 		if _, err := a.pilot.backend.mover.Run(u.Desc.OutputStaging); err != nil {
 			u.finish(UnitFailed, fmt.Errorf("output staging: %w", err))
 			return
 		}
-		prof.Record(u.Entity(), "stageout_stop")
+		prof.RecordID(u.entityID, vocab.evStageoutStop)
 	}
 
 	u.finish(UnitDone, nil)

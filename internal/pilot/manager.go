@@ -80,7 +80,7 @@ func (um *UnitManager) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
 	units := make([]*ComputeUnit, 0, len(descs))
 	for _, d := range descs {
 		u := newUnit(um.sess, d)
-		um.sess.Prof.Record(u.Entity(), "new")
+		um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evNew)
 		units = append(units, u)
 	}
 	// Client-side creation/serialization cost for the whole batch.
@@ -95,7 +95,7 @@ func (um *UnitManager) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
 		u.mu.Lock()
 		u.pilot = p
 		u.mu.Unlock()
-		um.sess.Prof.Record(u.Entity(), "umgr_bound")
+		um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evUmgrBound)
 		p.agent.submit(u)
 	}
 	return units, nil
@@ -119,7 +119,7 @@ func (um *UnitManager) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, 
 	units := make([]*ComputeUnit, 0, len(descs))
 	for i := range descs {
 		u := newUnit(um.sess, descs[i])
-		um.sess.Prof.Record(u.Entity(), "new")
+		um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evNew)
 		units = append(units, u)
 		// Client-side creation/serialization cost for this one unit.
 		um.sess.V.Sleep(perUnit)
@@ -132,7 +132,7 @@ func (um *UnitManager) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, 
 		u.mu.Lock()
 		u.pilot = p
 		u.mu.Unlock()
-		um.sess.Prof.Record(u.Entity(), "umgr_bound")
+		um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evUmgrBound)
 		p.agent.submit(u)
 	}
 	return units, nil

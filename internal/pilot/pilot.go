@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"entk/internal/profile"
 	"entk/internal/saga"
 	"entk/internal/vclock"
 )
@@ -95,11 +96,12 @@ type ComputePilot struct {
 	ID   int
 	Desc PilotDescription
 
-	sess    *Session
-	backend *backend
-	job     saga.Job
-	agent   *agent
-	entity  string // cached profiler entity key
+	sess     *Session
+	backend  *backend
+	job      saga.Job
+	agent    *agent
+	entity   string           // cached profiler entity key
+	entityID profile.EntityID // interned once; lifecycle records by id
 
 	mu       sync.Mutex
 	state    PilotState
@@ -133,10 +135,11 @@ func (p *ComputePilot) WaitFinal() PilotState {
 func (p *ComputePilot) Cancel() { p.job.Cancel() }
 
 // QueueWait reports the batch queue wait as seen through the profiler;
-// zero until the pilot activates.
+// zero until the pilot activates. The query streams the pilot's own event
+// column by pre-interned ids — no string matching.
 func (p *ComputePilot) QueueWait() time.Duration {
-	a, ok1 := p.sess.Prof.First(p.Entity(), "submit")
-	b, ok2 := p.sess.Prof.First(p.Entity(), "job_running")
+	a, ok1 := p.sess.Prof.FirstID(p.entityID, p.sess.vocab.evSubmit)
+	b, ok2 := p.sess.Prof.FirstID(p.entityID, p.sess.vocab.evJobRunning)
 	if !ok1 || !ok2 {
 		return 0
 	}
@@ -152,7 +155,7 @@ func (p *ComputePilot) setState(st PilotState) {
 	}
 	p.state = st
 	p.mu.Unlock()
-	p.sess.Prof.Record(p.entity, st.stateEvent())
+	p.sess.Prof.RecordID(p.entityID, p.sess.pilotStateName(st))
 }
 
 // PilotManager submits and tracks pilots (mirroring rp.PilotManager).
@@ -199,11 +202,12 @@ func (pm *PilotManager) Submit(desc PilotDescription) (*ComputePilot, error) {
 		state:   PilotPending,
 	}
 	p.entity = pilotEntity(p.ID)
+	p.entityID = pm.sess.Prof.Intern(p.entity)
 	p.activeEv = vclock.NewEvent(pm.sess.V, fmt.Sprintf("pilot %d active", p.ID))
 	p.finalEv = vclock.NewEvent(pm.sess.V, fmt.Sprintf("pilot %d final", p.ID))
 	p.agent = newAgent(p)
 
-	pm.sess.Prof.Record(p.Entity(), "submit")
+	pm.sess.Prof.RecordID(p.entityID, pm.sess.vocab.evSubmit)
 	job, err := be.service.Submit(saga.JobDescription{
 		Executable:    "radical-pilot-agent",
 		Arguments:     []string{fmt.Sprintf("--pilot=%d", p.ID)},
@@ -227,13 +231,13 @@ func (pm *PilotManager) Submit(desc PilotDescription) (*ComputePilot, error) {
 		if job.State() != saga.Running {
 			return // cancelled while queued; final watcher handles it
 		}
-		pm.sess.Prof.Record(p.Entity(), "job_running")
+		pm.sess.Prof.RecordID(p.entityID, pm.sess.vocab.evJobRunning)
 		pm.sess.V.Sleep(be.machine.AgentBootTime)
 		if job.State() != saga.Running {
 			return
 		}
 		p.setState(PilotActive)
-		pm.sess.Prof.Record(p.Entity(), "active")
+		pm.sess.Prof.RecordID(p.entityID, pm.sess.vocab.evActive)
 		p.agent.start()
 		p.activeEv.Fire()
 	})
@@ -250,7 +254,7 @@ func (pm *PilotManager) Submit(desc PilotDescription) (*ComputePilot, error) {
 		default:
 			p.setState(PilotFailed)
 		}
-		pm.sess.Prof.Record(p.Entity(), "final")
+		pm.sess.Prof.RecordID(p.entityID, pm.sess.vocab.evFinal)
 		p.agent.stop(fmt.Errorf("pilot %d terminated (%v)", p.ID, p.State()))
 		p.activeEv.Fire() // release WaitActive callers on early death
 		p.finalEv.Fire()

@@ -97,6 +97,11 @@ type Config struct {
 	// rescan path is kept as the reference implementation for regression
 	// tests (see sched.go).
 	Rescan bool
+	// ProfLayout selects the profiler's event-storage layout: the default
+	// interned columnar layout, or the seed string-backed store
+	// (profile.LayoutRef) kept as the reference implementation for the
+	// layout-parity tests — the profiler analogue of Rescan.
+	ProfLayout profile.Layout
 }
 
 // DefaultConfig returns the configuration used for the paper
@@ -111,6 +116,41 @@ func DefaultConfig() Config {
 	}
 }
 
+// profVocab is the runtime's fixed profiler event vocabulary, interned
+// once per session so every hot-path Record travels as pre-built ids —
+// no per-event string hashing or map lookups, and (on the columnar
+// layout) no string headers in the event log.
+type profVocab struct {
+	evNew, evUmgrBound                        profile.NameID
+	evSubmit, evJobRunning, evActive, evFinal profile.NameID
+	evStageinStart, evStageinStop             profile.NameID
+	evExecStart, evExecStop                   profile.NameID
+	evStageoutStart, evStageoutStop           profile.NameID
+	unitState                                 [len(unitStateEvents)]profile.NameID
+	pilotState                                [len(pilotStateEvents)]profile.NameID
+}
+
+func (vo *profVocab) init(p *profile.Profiler) {
+	vo.evNew = p.InternName("new")
+	vo.evUmgrBound = p.InternName("umgr_bound")
+	vo.evSubmit = p.InternName("submit")
+	vo.evJobRunning = p.InternName("job_running")
+	vo.evActive = p.InternName("active")
+	vo.evFinal = p.InternName("final")
+	vo.evStageinStart = p.InternName("stagein_start")
+	vo.evStageinStop = p.InternName("stagein_stop")
+	vo.evExecStart = p.InternName("exec_start")
+	vo.evExecStop = p.InternName("exec_stop")
+	vo.evStageoutStart = p.InternName("stageout_start")
+	vo.evStageoutStop = p.InternName("stageout_stop")
+	for st := range vo.unitState {
+		vo.unitState[st] = p.InternName(unitStateEvents[st])
+	}
+	for st := range vo.pilotState {
+		vo.pilotState[st] = p.InternName(pilotStateEvents[st])
+	}
+}
+
 // Session is the root object of the runtime (mirroring rp.Session): it
 // owns the virtual clock, the profiler, the cost model, and one simulated
 // batch system per machine.
@@ -120,10 +160,29 @@ type Session struct {
 	Cost CostModel
 	Cfg  Config
 
+	vocab profVocab
+
 	mu       sync.Mutex
 	backends map[string]*backend
 	nextPID  int
 	nextUID  int
+}
+
+// unitStateName returns the pre-interned event-name id for a transition
+// into st (interning on the fly only for out-of-range states).
+func (s *Session) unitStateName(st UnitState) profile.NameID {
+	if int(st) < len(s.vocab.unitState) {
+		return s.vocab.unitState[st]
+	}
+	return s.Prof.InternName(st.stateEvent())
+}
+
+// pilotStateName is unitStateName for pilot states.
+func (s *Session) pilotStateName(st PilotState) profile.NameID {
+	if int(st) < len(s.vocab.pilotState) {
+		return s.vocab.pilotState[st]
+	}
+	return s.Prof.InternName(st.stateEvent())
 }
 
 // backend bundles the per-machine simulation objects.
@@ -136,13 +195,15 @@ type backend struct {
 
 // NewSession creates a session with the given cost model and config.
 func NewSession(v *vclock.Virtual, cost CostModel, cfg Config) *Session {
-	return &Session{
+	s := &Session{
 		V:        v,
-		Prof:     profile.New(v),
+		Prof:     profile.NewLayout(v, cfg.ProfLayout),
 		Cost:     cost,
 		Cfg:      cfg,
 		backends: make(map[string]*backend),
 	}
+	s.vocab.init(s.Prof)
+	return s
 }
 
 // backendFor returns (creating on first use) the simulation backend for a
@@ -161,11 +222,17 @@ func (s *Session) backendFor(resource string) (*backend, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Batch and staging record their lifecycle events into the session
+	// profiler with pre-interned ids, so the TTC decomposition can be
+	// reconstructed down to queue admissions and individual staging ops.
+	sys.SetProfiler(s.Prof)
+	mover := stage.NewMover(s.V, m)
+	mover.SetProfiler(s.Prof, "mover."+resource)
 	b := &backend{
 		machine: m,
 		system:  sys,
 		service: saga.NewBatchService(s.V, sys),
-		mover:   stage.NewMover(s.V, m),
+		mover:   mover,
 	}
 	s.backends[resource] = b
 	return b, nil

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"entk/internal/profile"
 	"entk/internal/stage"
 	"entk/internal/vclock"
 )
@@ -147,8 +148,9 @@ type ComputeUnit struct {
 	ID   int
 	Desc UnitDescription
 
-	sess   *Session
-	entity string // cached profiler entity key
+	sess     *Session
+	entity   string           // cached profiler entity key
+	entityID profile.EntityID // interned once; state transitions record by id
 
 	mu       sync.Mutex
 	state    UnitState
@@ -164,11 +166,12 @@ func newUnit(s *Session, desc UnitDescription) *ComputeUnit {
 	id := s.unitID()
 	entity := unitEntity(id)
 	u := &ComputeUnit{
-		ID:     id,
-		Desc:   desc,
-		sess:   s,
-		entity: entity,
-		state:  UnitNew,
+		ID:       id,
+		Desc:     desc,
+		sess:     s,
+		entity:   entity,
+		entityID: s.Prof.Intern(entity),
+		state:    UnitNew,
 	}
 	u.finalEv.Init(s.V, entity) // reads "event unit.NNNNNN" in deadlock dumps
 	return u
@@ -252,7 +255,7 @@ func (u *ComputeUnit) setState(st UnitState) {
 	}
 	u.state = st
 	u.mu.Unlock()
-	u.sess.Prof.Record(u.entity, st.stateEvent())
+	u.sess.Prof.RecordID(u.entityID, u.sess.unitStateName(st))
 }
 
 // finish moves the unit to a terminal state and fires its final event.
@@ -268,7 +271,7 @@ func (u *ComputeUnit) finish(st UnitState, err error) {
 	u.state = st
 	u.err = err
 	u.mu.Unlock()
-	u.sess.Prof.Record(u.entity, st.stateEvent())
+	u.sess.Prof.RecordID(u.entityID, u.sess.unitStateName(st))
 	u.finalEv.Fire()
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"entk/internal/cluster"
+	"entk/internal/profile"
 	"entk/internal/vclock"
 )
 
@@ -85,9 +86,26 @@ type Mover struct {
 	// WANBandwidthMBps is the client<->resource transfer bandwidth.
 	WANBandwidthMBps float64
 
+	// prof, when set, receives one event per completed staging op on the
+	// mover's entity, recorded with the pre-interned per-op name ids —
+	// the staging component of the TTC decomposition. Ops run on the
+	// per-unit hot path, so no strings are formatted here.
+	prof    *profile.Profiler
+	entity  profile.EntityID
+	opNames [4]profile.NameID // indexed by Op
+
 	mu          sync.Mutex
 	transferred float64 // cumulative MB moved (for accounting/tests)
 	ops         int
+}
+
+// SetProfiler wires per-op recording into p under the given entity key.
+func (m *Mover) SetProfiler(p *profile.Profiler, entity string) {
+	m.prof = p
+	m.entity = p.Intern(entity)
+	for _, op := range []Op{Upload, Copy, Link, Download} {
+		m.opNames[op] = p.InternName("op_" + op.String())
+	}
 }
 
 // NewMover returns a Mover for machine with a default 100 MB/s WAN.
@@ -121,6 +139,9 @@ func (m *Mover) Run(dirs []Directive) (time.Duration, error) {
 		c := m.Cost(d)
 		m.v.Sleep(c)
 		total += c
+		if m.prof != nil && d.Op >= Upload && d.Op <= Download {
+			m.prof.RecordID(m.entity, m.opNames[d.Op])
+		}
 		m.mu.Lock()
 		m.ops++
 		if d.Op != Link {

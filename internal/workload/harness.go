@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"entk/internal/core"
+	"entk/internal/pilot"
+	"entk/internal/profile"
 	"entk/internal/vclock"
 )
 
@@ -38,6 +40,22 @@ var (
 // instead of mutating it.
 var DefaultEngine = vclock.EngineHandoff
 
+// DefaultProfLayout is the profiler event-storage layout the runners use.
+// The layout-parity tests flip it to profile.LayoutRef to prove the
+// columnar layout changes no figure or stress result.
+var DefaultProfLayout = profile.LayoutColumnar
+
+// WithProfLayout runs fn with DefaultProfLayout set to l and restores the
+// previous layout before returning — the one sanctioned way to flip the
+// layout axis, so no caller can leave the global pointing at the wrong
+// layout for subsequent legs.
+func WithProfLayout(l profile.Layout, fn func() error) error {
+	prev := DefaultProfLayout
+	DefaultProfLayout = l
+	defer func() { DefaultProfLayout = prev }()
+	return fn()
+}
+
 // runOnFreshClock executes one pattern on a dedicated virtual clock and
 // resource handle, returning the report. Every experiment point runs in
 // its own simulated world so points are independent and deterministic.
@@ -48,7 +66,9 @@ func runOnFreshClock(resource string, cores int, build func() core.Pattern) (*co
 // runOnFreshClockEngine is runOnFreshClock on an explicit vclock engine.
 func runOnFreshClockEngine(resource string, cores int, eng vclock.Engine, build func() core.Pattern) (*core.Report, error) {
 	v := vclock.NewVirtualEngine(eng)
-	h, err := core.NewResourceHandle(resource, cores, 10000*time.Hour, core.Config{Clock: v})
+	rcfg := pilot.DefaultConfig()
+	rcfg.ProfLayout = DefaultProfLayout
+	h, err := core.NewResourceHandle(resource, cores, 10000*time.Hour, core.Config{Clock: v, Runtime: rcfg})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package workload
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heavyweight 100k stress sweeps skip under it (the dedicated CI smoke
+// rows cover the tier without the detector's 10-20x slowdown, and the
+// profiler's concurrency is gated by its own -race hammer suite).
+const raceEnabled = false

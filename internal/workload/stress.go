@@ -2,8 +2,10 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"time"
 
+	"entk/internal/cluster"
 	"entk/internal/core"
 	"entk/internal/pilot"
 	"entk/internal/stats"
@@ -50,6 +52,7 @@ func PilotThroughputOn(rescan bool, eng vclock.Engine) error {
 	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.Rescan = rescan
+	rcfg.ProfLayout = DefaultProfLayout
 	h, err := core.NewResourceHandle("xsede.stampede", ThroughputCores, 1000*time.Hour,
 		core.Config{Clock: v, Runtime: rcfg})
 	if err != nil {
@@ -287,6 +290,188 @@ func (r *StressEoPResult) Table() string {
 		})
 	}
 	return table(headers, rows)
+}
+
+// ---------------------------------------------------------------------------
+// 100k tier
+
+// The 100k tier is the columnar profiler's payoff workload: a 10x step
+// past the 10k tier, opened by cutting the profiler's per-event GC-scanned
+// footprint from two string headers (~40 B) to a 16-byte pointer-free
+// record. Tasks are bulk-submitted single-stage ensembles on a synthetic
+// 65536-core machine, and each row records the full TTC decomposition so
+// the tier's golden checks can pin every component, not just throughput.
+
+// Stress100kMachine is the 100k tier's resource label.
+const Stress100kMachine = "sim.stress64k"
+
+// Stress100kCores is the pilot size used by the 100k tier.
+const Stress100kCores = 65536
+
+var (
+	// Stress100kSizes are the tier's ensemble widths (single-stage, so
+	// tasks = pipelines): half machine, full machine, and the
+	// oversubscribed 102400-task point that must run in two waves.
+	Stress100kSizes = []int{32768, 65536, 102400}
+	// stress100kSeconds is the per-task runtime of the 100k tier.
+	stress100kSeconds = 30.0
+)
+
+// Stress100kPoint is one 100k-tier configuration with its full TTC
+// decomposition.
+type Stress100kPoint struct {
+	Pipelines       int
+	Tasks           int
+	TTCSec          float64
+	ExecSec         float64
+	PatternOvhSec   float64
+	QueueWaitSec    float64
+	AgentStartupSec float64
+	CoreOvhSec      float64
+	WallMS          float64
+	UnitsPerSecWall float64
+}
+
+// Stress100kResult holds the 100k-task stress sweep.
+type Stress100kResult struct {
+	Rows []Stress100kPoint
+}
+
+// Stress100k runs the 100k-task stress sweep on the default engine.
+func Stress100k(sizes []int) (*Stress100kResult, error) {
+	return Stress100kOn(sizes, DefaultEngine)
+}
+
+// Stress100kOn is Stress100k on an explicit vclock engine.
+func Stress100kOn(sizes []int, eng vclock.Engine) (*Stress100kResult, error) {
+	if sizes == nil {
+		sizes = Stress100kSizes
+	}
+	res := &Stress100kResult{}
+	for _, n := range sizes {
+		// One kernel for all tasks (bind never mutates it): see StressEE.
+		kernel := &core.Kernel{
+			Name:   "misc.sleep",
+			Params: map[string]float64{"seconds": stress100kSeconds},
+		}
+		t0 := time.Now()
+		rep, err := runOnFreshClockEngine(Stress100kMachine, Stress100kCores, eng, func() core.Pattern {
+			return &core.EnsembleOfPipelines{
+				Pipelines:  n,
+				Stages:     1,
+				BulkStages: true,
+				StageKernel: func(stage, pipe int) *core.Kernel {
+					return kernel
+				},
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stress 100k n=%d: %w", n, err)
+		}
+		wall := time.Since(t0)
+		res.Rows = append(res.Rows, Stress100kPoint{
+			Pipelines:       n,
+			Tasks:           rep.Tasks,
+			TTCSec:          rep.TTC.Seconds(),
+			ExecSec:         rep.ExecTime().Seconds(),
+			PatternOvhSec:   rep.PatternOverhead.Seconds(),
+			QueueWaitSec:    rep.QueueWait.Seconds(),
+			AgentStartupSec: rep.AgentStartup.Seconds(),
+			CoreOvhSec:      rep.CoreOverhead.Seconds(),
+			WallMS:          float64(wall) / float64(time.Millisecond),
+			UnitsPerSecWall: float64(rep.Tasks) / wall.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *Stress100kResult) Table() string {
+	headers := []string{"pipelines", "tasks", "ttc_s", "exec_s", "pattern_ovh_s",
+		"queue_wait_s", "agent_boot_s", "core_ovh_s", "wall_ms", "units/s(wall)"}
+	var rows [][]string
+	for _, w := range r.Rows {
+		rows = append(rows, []string{
+			di(w.Pipelines), di(w.Tasks), f1(w.TTCSec), f1(w.ExecSec), f1(w.PatternOvhSec),
+			f1(w.QueueWaitSec), f1(w.AgentStartupSec), f1(w.CoreOvhSec), f1(w.WallMS), f1(w.UnitsPerSecWall),
+		})
+	}
+	return table(headers, rows)
+}
+
+// Check asserts the 100k tier's TTC-decomposition golden shapes:
+//
+//   - exact accounting: every task ran, no retries, no losses;
+//   - the pattern overhead grows with the task count and is exactly the
+//     client-side submission cost of every unit (tasks x UMSubmitPerUnit);
+//   - the queue wait is dominated by the per-node backfill component of
+//     the queue model (a 4096-node request waits on the whole machine
+//     draining, not on the fixed base);
+//   - the execution span is the expected number of waves of the per-task
+//     runtime plus bounded launcher stagger;
+//   - TTC (measured from pattern start, pilot already active) covers
+//     execution and pattern overhead.
+func (r *Stress100kResult) Check() error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("stress 100k: no rows")
+	}
+	m := cluster.Stress64k
+	perUnit := pilot.DefaultConfig().UMSubmitPerUnit.Seconds()
+	nodes := m.NodesFor(Stress100kCores)
+	baseWait := m.QueueWaitBase.Seconds()
+	perNodeWait := float64(nodes) * m.QueueWaitPerNode.Seconds()
+	prevOvh := 0.0
+	for _, w := range r.Rows {
+		if w.Tasks != w.Pipelines {
+			return fmt.Errorf("stress 100k: %d pipelines produced %d tasks", w.Pipelines, w.Tasks)
+		}
+		wantOvh := float64(w.Tasks) * perUnit
+		if math.Abs(w.PatternOvhSec-wantOvh) > 1e-6*wantOvh+1e-9 {
+			return fmt.Errorf("stress 100k: %d tasks pattern overhead %.3fs, want exactly %.3fs",
+				w.Tasks, w.PatternOvhSec, wantOvh)
+		}
+		if w.PatternOvhSec <= prevOvh {
+			return fmt.Errorf("stress 100k: pattern overhead not growing with task count (%.3fs after %.3fs)",
+				w.PatternOvhSec, prevOvh)
+		}
+		prevOvh = w.PatternOvhSec
+		// Queue wait: the model's full delay plus at most 1s of control
+		// latency (SAGA round trips), with the per-node component — the
+		// whole-machine backfill wait — dominating.
+		if w.QueueWaitSec < baseWait+perNodeWait || w.QueueWaitSec > baseWait+perNodeWait+1 {
+			return fmt.Errorf("stress 100k: queue wait %.1fs, want ~%.1fs (base %.0fs + %d nodes)",
+				w.QueueWaitSec, baseWait+perNodeWait, baseWait, nodes)
+		}
+		if perNodeWait < 0.9*w.QueueWaitSec {
+			return fmt.Errorf("stress 100k: per-node wait %.1fs not dominating queue wait %.1fs",
+				perNodeWait, w.QueueWaitSec)
+		}
+		waves := float64((w.Pipelines + Stress100kCores - 1) / Stress100kCores)
+		wantExec := waves * stress100kSeconds
+		if w.ExecSec < wantExec || w.ExecSec > wantExec+5 {
+			return fmt.Errorf("stress 100k: %d tasks exec %.1fs, want ~%.1fs (%v waves)",
+				w.Tasks, w.ExecSec, wantExec, waves)
+		}
+		if w.TTCSec < w.ExecSec+w.PatternOvhSec {
+			return fmt.Errorf("stress 100k: TTC %.1fs < exec %.1fs + pattern overhead %.1fs",
+				w.TTCSec, w.ExecSec, w.PatternOvhSec)
+		}
+	}
+	return nil
+}
+
+// SimColumns returns the simulated-quantity columns (everything except
+// the wall-clock measurements) for cross-engine and cross-layout parity
+// assertions: two runs that simulate the same system must agree on these
+// byte for byte.
+func (r *Stress100kResult) SimColumns() []Stress100kPoint {
+	out := make([]Stress100kPoint, len(r.Rows))
+	for i, w := range r.Rows {
+		w.WallMS = 0
+		w.UnitsPerSecWall = 0
+		out[i] = w
+	}
+	return out
 }
 
 // Check asserts exact accounting at 10k scale: every task ran (no

@@ -1,7 +1,11 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
+
+	"entk/internal/profile"
+	"entk/internal/vclock"
 )
 
 // TestStressEoPSweep runs the full 10k-pipeline EoP stress sweep and
@@ -44,5 +48,143 @@ func TestStressEoPSmall(t *testing.T) {
 	}
 	if err := res.Check(); err != nil {
 		t.Errorf("%v\n%s", err, res.Table())
+	}
+}
+
+// skip100k gates the heavyweight 100k-tier sweeps: they are skipped in
+// -short mode like the 10k tier, and under the race detector (whose
+// 10-20x slowdown would dominate the whole CI run — the dedicated
+// non-race smoke row covers the tier, and the profiler's concurrency is
+// gated by its own -race hammer suite).
+func skip100k(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("100k tier skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("100k tier skipped under -race (covered by the non-race CI smoke row)")
+	}
+}
+
+// TestStress100kSweep runs the full 100k-task sweep and verifies its
+// TTC-decomposition golden checks — the acceptance gate that the columnar
+// profiler sustains 100k+ tasks under go test.
+func TestStress100kSweep(t *testing.T) {
+	skip100k(t)
+	res, err := Stress100k(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("%v\n%s", err, res.Table())
+	}
+}
+
+// TestStress100kEngineParity runs one 100k-tier point on both vclock
+// engines and asserts the simulated columns (TTC decomposition, task
+// counts) are byte-identical — the tier-level extension of
+// TestEngineReportParity to 100k tasks.
+func TestStress100kEngineParity(t *testing.T) {
+	skip100k(t)
+	sizes := []int{102400}
+	handoff, err := Stress100kOn(sizes, vclock.EngineHandoff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Stress100kOn(sizes, vclock.EngineRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(handoff.SimColumns(), ref.SimColumns()) {
+		t.Errorf("sim columns diverge between engines:\nhandoff:\n%s\nref:\n%s",
+			handoff.Table(), ref.Table())
+	}
+	if err := handoff.Check(); err != nil {
+		t.Errorf("%v\n%s", err, handoff.Table())
+	}
+}
+
+// TestStress100kLayoutParity runs one 100k-tier point on both profiler
+// layouts and asserts the simulated columns and the figure Check verdict
+// agree — the stress-tier leg of the layout-parity suite, proving the
+// columnar store changes no measured quantity at the scale it was built
+// for.
+func TestStress100kLayoutParity(t *testing.T) {
+	skip100k(t)
+	sizes := []int{102400}
+	runWith := func(l profile.Layout) *Stress100kResult {
+		var res *Stress100kResult
+		err := WithProfLayout(l, func() error {
+			var err error
+			res, err = Stress100k(sizes)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	columnar := runWith(profile.LayoutColumnar)
+	ref := runWith(profile.LayoutRef)
+	if !reflect.DeepEqual(columnar.SimColumns(), ref.SimColumns()) {
+		t.Errorf("sim columns diverge between profiler layouts:\ncolumnar:\n%s\nref:\n%s",
+			columnar.Table(), ref.Table())
+	}
+	if err := columnar.Check(); err != nil {
+		t.Errorf("columnar: %v\n%s", err, columnar.Table())
+	}
+	if err := ref.Check(); err != nil {
+		t.Errorf("ref: %v\n%s", err, ref.Table())
+	}
+}
+
+// TestStress100kSmoke keeps a half-machine 100k-tier point runnable
+// everywhere (both engines, no skips beyond -short): the CI smoke row.
+func TestStress100kSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress tier skipped in -short mode")
+	}
+	for _, eng := range []vclock.Engine{vclock.EngineHandoff, vclock.EngineRef} {
+		res, err := Stress100kOn([]int{32768}, eng)
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		if err := res.Check(); err != nil {
+			t.Errorf("%v: %v\n%s", eng, err, res.Table())
+		}
+	}
+}
+
+// TestStressLayoutParityFigureChecks runs the in-short 10k EoP point on
+// both profiler layouts and asserts rows and Check results agree — the
+// figure-level layout parity kept cheap enough for the -short tier.
+func TestStressLayoutParityFigureChecks(t *testing.T) {
+	runWith := func(l profile.Layout) *StressEoPResult {
+		var res *StressEoPResult
+		err := WithProfLayout(l, func() error {
+			var err error
+			res, err = StressEoP([]int{512})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	columnar := runWith(profile.LayoutColumnar)
+	ref := runWith(profile.LayoutRef)
+	for i := range columnar.Rows {
+		a, b := columnar.Rows[i], ref.Rows[i]
+		a.WallMS, b.WallMS = 0, 0
+		a.UnitsPerSecWall, b.UnitsPerSecWall = 0, 0
+		if a != b {
+			t.Errorf("row %d diverges between layouts:\ncolumnar: %+v\nref: %+v", i, a, b)
+		}
+	}
+	if err := columnar.Check(); err != nil {
+		t.Errorf("columnar: %v", err)
+	}
+	if err := ref.Check(); err != nil {
+		t.Errorf("ref: %v", err)
 	}
 }

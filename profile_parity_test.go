@@ -1,0 +1,79 @@
+package entk_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"entk"
+)
+
+// runParityEoPLayout executes the parity workload — the same 2048-unit
+// single-stage ensemble as runParityEoP — on an explicit clock engine,
+// agent-scheduler configuration, and profiler event-storage layout.
+func runParityEoPLayout(t *testing.T, rescan bool, eng entk.ClockEngine, layout entk.ProfilerLayout) *entk.Report {
+	t.Helper()
+	v := entk.NewClockEngine(eng)
+	rcfg := entk.DefaultRuntimeConfig()
+	rcfg.Rescan = rescan
+	rcfg.ProfLayout = layout
+	h, err := entk.NewResourceHandle("xsede.stampede", 1024, 1000*time.Hour,
+		entk.Config{Clock: v, Runtime: rcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *entk.Report
+	var runErr error
+	v.Run(func() {
+		rep, runErr = h.Execute(&entk.EnsembleOfPipelines{
+			Pipelines: 2048,
+			Stages:    1,
+			StageKernel: func(int, int) *entk.Kernel {
+				return &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 5}}
+			},
+		})
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return rep
+}
+
+// TestProfilerLayoutParity is the columnar-profiler regression gate, the
+// profiler-level analogue of TestEngineReportParity: the interned columnar
+// event layout must be a memory/wall-time optimisation only. The same
+// 2048-unit ensemble, run over the engine × agent-scheduler matrix, must
+// produce bit-identical reports on the columnar layout and on the seed
+// string-backed reference layout (profile.LayoutRef) — same TTC, same
+// queue wait and agent startup (both reconstructed from profiler queries),
+// same phase spans and busy times, same task and retry counts — or the
+// storage rebuild changed simulated behaviour, not just representation.
+func TestProfilerLayoutParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("layout parity skipped in -short mode (rescan legs are slow by design)")
+	}
+	type leg struct {
+		name   string
+		rescan bool
+		eng    entk.ClockEngine
+	}
+	legs := []leg{
+		{"handoff/indexed", false, entk.EngineHandoff},
+		{"handoff/rescan", true, entk.EngineHandoff},
+		{"ref/indexed", false, entk.EngineRef},
+		{"ref/rescan", true, entk.EngineRef},
+	}
+	for _, l := range legs {
+		columnar := runParityEoPLayout(t, l.rescan, l.eng, entk.ProfLayoutColumnar)
+		ref := runParityEoPLayout(t, l.rescan, l.eng, entk.ProfLayoutRef)
+		if !reflect.DeepEqual(columnar, ref) {
+			t.Errorf("report diverges between profiler layouts on %s:\ncolumnar:\n%v\nref:\n%v",
+				l.name, columnar, ref)
+		}
+		// Guard against the vacuous pass: the workload must have run.
+		if columnar.Tasks != 2048 || columnar.TTC <= 0 || columnar.QueueWait <= 0 {
+			t.Errorf("parity workload did not run on %s: tasks=%d ttc=%v queueWait=%v",
+				l.name, columnar.Tasks, columnar.TTC, columnar.QueueWait)
+		}
+	}
+}
