@@ -400,6 +400,27 @@ func BenchmarkStress100kProfRef(b *testing.B) {
 	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
 }
 
+// BenchmarkStress100kMixed runs the mixed tier: a 100352-task campaign
+// of three heterogeneous concurrent pipelines (wide/mid/narrow, depth
+// 2-4, single-core and 4-core MPI tasks) executed by one AppManager on
+// the 65536-core pilot — the graph API's fragmentation workload. It
+// reports simulated units per wall second.
+func BenchmarkStress100kMixed(b *testing.B) {
+	b.ReportAllocs()
+	var units int
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Stress100kMixed(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		units = res.Campaign.Tasks
+	}
+	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
 // BenchmarkStress10kRefEngine is the 10k stress point on the reference
 // vclock engine — the engine A/B at the tree's hardest scale.
 func BenchmarkStress10kRefEngine(b *testing.B) {

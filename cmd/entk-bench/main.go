@@ -14,6 +14,10 @@
 //	                           # also record throughput, memory (allocs/op,
 //	                           # bytes/op, peak heap), and stress metrics
 //	entk-bench -engine ref     # run on the reference vclock engine
+//	entk-bench -graph          # the graph tier: mixed 100k campaign +
+//	                           # graph-vs-ref executor throughput A/B
+//	entk-bench -profdump t.bin # write a binary session trace (one
+//	                           # unit-throughput run, profile dump format)
 //	entk-bench -cpuprofile entk.prof -stress
 //	                           # write a pprof CPU profile of the run
 package main
@@ -28,6 +32,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"entk/internal/core"
 	"entk/internal/profile"
 	"entk/internal/vclock"
 	"entk/internal/workload"
@@ -47,7 +52,9 @@ func fatalf(format string, v ...interface{}) {
 func main() {
 	fig := flag.Int("fig", 0, "figure number to run (3-9); 0 runs everything")
 	ablation := flag.String("ablation", "", "ablation to run: exchange, backfill, dispatch, placement, or all")
-	stress := flag.Bool("stress", false, "run the stress tiers (10k EE/EoP + the 100k tier)")
+	stress := flag.Bool("stress", false, "run the stress tiers (10k EE/EoP + the 100k and mixed tiers)")
+	graph := flag.Bool("graph", false, "run the graph tier: the mixed 100k campaign and the graph-vs-ref executor throughput A/B")
+	profDump := flag.String("profdump", "", "run the unit-throughput workload and write its binary session trace to this file")
 	jsonPath := flag.String("json", "", "write throughput and stress metrics to this JSON file")
 	engineName := flag.String("engine", "handoff", "vclock engine to run on: handoff or ref")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -75,7 +82,7 @@ func main() {
 		defer stopProfile()
 	}
 
-	runAll := *fig == 0 && *ablation == "" && !*stress && *jsonPath == ""
+	runAll := *fig == 0 && *ablation == "" && !*stress && !*graph && *profDump == "" && *jsonPath == ""
 
 	figures := map[int]func() error{
 		3: func() error { return printFig3() },
@@ -119,11 +126,73 @@ func main() {
 		}
 	}
 
+	if *graph {
+		// When the stress path runs too, it prints (and records) the
+		// mixed campaign itself — don't simulate the 100k campaign twice.
+		if err := runGraphTier(*stress || *jsonPath != ""); err != nil {
+			fatalf("entk-bench: graph: %v", err)
+		}
+	}
+
+	if *profDump != "" {
+		if err := writeProfDump(*profDump); err != nil {
+			fatalf("entk-bench: profdump: %v", err)
+		}
+	}
+
 	if *stress || *jsonPath != "" {
 		if err := runStress(*jsonPath); err != nil {
 			fatalf("entk-bench: stress: %v", err)
 		}
 	}
+}
+
+// runGraphTier prints the graph-API tier on its own: the mixed
+// heterogeneous campaign (unless the stress path runs it anyway) and
+// the graph-vs-ref executor throughput A/B (both paths produce
+// bit-identical simulated reports — TestGraphReportParity; wall time is
+// the difference under measurement).
+func runGraphTier(skipMixed bool) error {
+	if !skipMixed {
+		mixed, err := workload.Stress100kMixed(nil)
+		if err != nil {
+			return err
+		}
+		if err := mixed.Check(); err != nil {
+			return err
+		}
+		fmt.Println("Graph: mixed 100k campaign, heterogeneous concurrent pipelines (sim.stress64k, one AppManager)")
+		fmt.Println(mixed.Table())
+	}
+
+	for _, exec := range []core.ExecPath{core.ExecGraph, core.ExecRef} {
+		m, err := measureThroughput(workload.DefaultEngine, false, profile.LayoutColumnar, exec, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Graph: unit throughput, exec=%-5s  %.0f units/s (wall), %.1f allocs/unit\n",
+			exec, m.UnitsPerS, m.AllocsPerUnit)
+	}
+	return nil
+}
+
+// writeProfDump runs the unit-throughput workload and writes its full
+// session trace in the versioned binary dump format (see
+// internal/profile dump.go; reload with profile.ReadFrom).
+func writeProfDump(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	events, bytes, err := workload.ProfileTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("profile trace: %d events, %d bytes written to %s\n", events, bytes, path)
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -138,6 +207,7 @@ type throughputMetric struct {
 	Engine        string  `json:"engine"`
 	Scheduler     string  `json:"scheduler"`
 	ProfLayout    string  `json:"prof_layout"`
+	Exec          string  `json:"exec"`
 	Units         int     `json:"units"`
 	Cores         int     `json:"cores"`
 	Runs          int     `json:"runs"`
@@ -149,22 +219,27 @@ type throughputMetric struct {
 
 // benchMetrics is the schema of the BENCH_PR<N>.json trajectory files.
 type benchMetrics struct {
-	Generated     string                     `json:"generated"`
-	Notes         string                     `json:"notes"`
-	StressEngine  string                     `json:"stress_engine"`
-	Throughput    []throughputMetric         `json:"pilot_unit_throughput"`
-	StressEoP     []workload.StressEoPPoint  `json:"stress_eop"`
-	StressEE      []workload.StressEEPoint   `json:"stress_ee_weak"`
-	Stress100k    []workload.Stress100kPoint `json:"stress_100k"`
-	Stress100kRef []workload.Stress100kPoint `json:"stress_100k_prof_ref"`
+	Generated       string                        `json:"generated"`
+	Notes           string                        `json:"notes"`
+	StressEngine    string                        `json:"stress_engine"`
+	Throughput      []throughputMetric            `json:"pilot_unit_throughput"`
+	StressEoP       []workload.StressEoPPoint     `json:"stress_eop"`
+	StressEE        []workload.StressEEPoint      `json:"stress_ee_weak"`
+	Stress100k      []workload.Stress100kPoint    `json:"stress_100k"`
+	Stress100kRef   []workload.Stress100kPoint    `json:"stress_100k_prof_ref"`
+	Stress100kMixed []workload.Stress100kMixedRow `json:"stress_100k_mixed"`
 }
 
 // metricsNotes documents how to read the numbers.
 const metricsNotes = "wall-clock numbers from the machine that generated this file; " +
 	"the throughput matrix sweeps vclock engine (handoff vs ref) x agent scheduler config " +
-	"(indexed vs rescan) x profiler layout (columnar vs ref) — all legs produce " +
-	"bit-identical simulated reports (TestEngineReportParity, TestProfilerLayoutParity), " +
-	"only wall time and allocation profile differ; NOTE: at this workload's scale " +
+	"(indexed vs rescan) x profiler layout (columnar vs ref) x executor path (graph vs " +
+	"seed pattern executor) — all legs produce bit-identical simulated reports " +
+	"(TestEngineReportParity, TestProfilerLayoutParity, TestGraphReportParity), " +
+	"only wall time and allocation profile differ; stress_100k_mixed is the graph-API " +
+	"campaign tier (heterogeneous concurrent pipelines on one AppManager, per-pipeline " +
+	"rows plus the campaign aggregate; engine-parity gated by " +
+	"TestStress100kMixedEngineParity); NOTE: at this workload's scale " +
 	"(256 cores = 16 nodes) the indexed config's adaptive crossover selects the linear " +
 	"scan, so its two scheduler legs run the same placement code and differ only by " +
 	"noise — the segment-tree path is measured by the stress rows (1024 nodes) and " +
@@ -176,9 +251,10 @@ const metricsNotes = "wall-clock numbers from the machine that generated this fi
 
 // measureThroughput runs workload.PilotThroughputOn — the exact workload
 // BenchmarkPilotUnitThroughput times — `runs` times on the selected
-// engine, scheduler, and profiler layout, and returns wall units/s plus
-// the runs' allocation profile (allocs/op, bytes/op, peak live heap).
-func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, runs int) (throughputMetric, error) {
+// engine, scheduler, profiler layout, and executor path, and returns
+// wall units/s plus the runs' allocation profile (allocs/op, bytes/op,
+// peak live heap).
+func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, exec core.ExecPath, runs int) (throughputMetric, error) {
 	name := "indexed"
 	if rescan {
 		name = "rescan"
@@ -188,17 +264,19 @@ func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, ru
 	runtime.ReadMemStats(&before)
 	peakHeap := before.HeapAlloc
 	t0 := time.Now()
-	err := workload.WithProfLayout(layout, func() error {
-		for i := 0; i < runs; i++ {
-			if err := workload.PilotThroughputOn(rescan, eng); err != nil {
-				return err
+	err := workload.WithExecPath(exec, func() error {
+		return workload.WithProfLayout(layout, func() error {
+			for i := 0; i < runs; i++ {
+				if err := workload.PilotThroughputOn(rescan, eng); err != nil {
+					return err
+				}
+				runtime.ReadMemStats(&after)
+				if after.HeapAlloc > peakHeap {
+					peakHeap = after.HeapAlloc
+				}
 			}
-			runtime.ReadMemStats(&after)
-			if after.HeapAlloc > peakHeap {
-				peakHeap = after.HeapAlloc
-			}
-		}
-		return nil
+			return nil
+		})
 	})
 	if err != nil {
 		return throughputMetric{}, err
@@ -209,6 +287,7 @@ func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, ru
 		Engine:        eng.String(),
 		Scheduler:     name,
 		ProfLayout:    layout.String(),
+		Exec:          exec.String(),
 		Units:         workload.ThroughputUnits,
 		Cores:         workload.ThroughputCores,
 		Runs:          runs,
@@ -253,6 +332,16 @@ func runStress(jsonPath string) error {
 	fmt.Println("Stress: 100k tier, bulk single-stage EoP (65536-core sim.stress64k)")
 	fmt.Println(s100k.Table())
 
+	mixed, err := workload.Stress100kMixed(nil)
+	if err != nil {
+		return err
+	}
+	if err := mixed.Check(); err != nil {
+		return err
+	}
+	fmt.Println("Stress: mixed 100k campaign, heterogeneous concurrent pipelines (graph API, one AppManager)")
+	fmt.Println(mixed.Table())
+
 	if jsonPath == "" {
 		return nil
 	}
@@ -274,29 +363,36 @@ func runStress(jsonPath string) error {
 	}
 
 	metrics := benchMetrics{
-		Generated:     time.Now().UTC().Format(time.RFC3339),
-		Notes:         metricsNotes,
-		StressEngine:  workload.DefaultEngine.String(),
-		StressEoP:     eop.Rows,
-		StressEE:      ee.Rows,
-		Stress100k:    s100k.Rows,
-		Stress100kRef: s100kRef.Rows,
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		Notes:           metricsNotes,
+		StressEngine:    workload.DefaultEngine.String(),
+		StressEoP:       eop.Rows,
+		StressEE:        ee.Rows,
+		Stress100k:      s100k.Rows,
+		Stress100kRef:   s100kRef.Rows,
+		Stress100kMixed: append(append([]workload.Stress100kMixedRow(nil), mixed.Pipelines...), mixed.Campaign),
 	}
 	for _, eng := range []vclock.Engine{vclock.EngineHandoff, vclock.EngineRef} {
 		for _, rescan := range []bool{false, true} {
-			m, err := measureThroughput(eng, rescan, profile.LayoutColumnar, 20)
+			m, err := measureThroughput(eng, rescan, profile.LayoutColumnar, core.ExecGraph, 20)
 			if err != nil {
 				return err
 			}
 			metrics.Throughput = append(metrics.Throughput, m)
 		}
 	}
-	// The profiler-layout A/B on the default engine/scheduler config.
-	refLeg, err := measureThroughput(vclock.EngineHandoff, false, profile.LayoutRef, 20)
+	// The profiler-layout and executor-path A/Bs on the default
+	// engine/scheduler config.
+	refLeg, err := measureThroughput(vclock.EngineHandoff, false, profile.LayoutRef, core.ExecGraph, 20)
 	if err != nil {
 		return err
 	}
 	metrics.Throughput = append(metrics.Throughput, refLeg)
+	execLeg, err := measureThroughput(vclock.EngineHandoff, false, profile.LayoutColumnar, core.ExecRef, 20)
+	if err != nil {
+		return err
+	}
+	metrics.Throughput = append(metrics.Throughput, execLeg)
 	buf, err := json.MarshalIndent(metrics, "", "  ")
 	if err != nil {
 		return err

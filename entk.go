@@ -1,34 +1,46 @@
 // Package entk is the public API of the Ensemble Toolkit reproduction: a
 // Go implementation of "Ensemble Toolkit: Scalable and Flexible Execution
-// of Ensembles of Tasks" (Balasubramanian et al., ICPP 2016).
+// of Ensembles of Tasks" (Balasubramanian et al., ICPP 2016), grown past
+// the paper's three fixed patterns into an explicit task-graph toolkit.
 //
-// Applications express their workload by parametrising one of three
-// execution patterns with kernel plugins and running it through a
-// resource handle:
+// The primary vocabulary is the graph model: a Task names a kernel
+// invocation, a Stage is a set of tasks with a barrier (and an optional
+// PostStage hook that may grow or prune the graph at runtime — the
+// adaptivity the paper plans in Section V), a Pipeline is an ordered
+// sequence of stages, and an AppManager executes any number of
+// heterogeneous pipelines concurrently on one resource handle:
 //
 //	v := entk.NewClock()
 //	h, err := entk.NewResourceHandle("xsede.comet", 48, time.Hour, entk.Config{Clock: v})
 //	if err != nil { ... }
-//	pattern := &entk.EnsembleOfPipelines{
-//		Pipelines: 16,
-//		Stages:    2,
-//		StageKernel: func(stage, pipe int) *entk.Kernel {
-//			if stage == 1 {
-//				return &entk.Kernel{Name: "misc.mkfile", Params: map[string]float64{"size_mb": 10}}
-//			}
-//			return &entk.Kernel{Name: "misc.ccount", Params: map[string]float64{"size_mb": 10}}
-//		},
-//	}
-//	var report *entk.Report
+//	wide := &entk.Pipeline{Name: "wide", Stages: []*entk.Stage{
+//		{Tasks: tasks("md.amber", 32)},
+//		{Tasks: tasks("ana.coco", 32)},
+//	}}
+//	narrow := &entk.Pipeline{Name: "narrow", Stages: []*entk.Stage{
+//		{Tasks: tasks("md.gromacs", 4)},
+//	}}
+//	var camp *entk.CampaignReport
 //	v.Run(func() {
-//		report, err = h.Execute(pattern)
+//		if err = h.Allocate(); err != nil { return }
+//		camp, err = entk.NewAppManager(h).Run(wide, narrow)
+//		h.Deallocate()
 //	})
+//
+// The paper's execution patterns (EnsembleOfPipelines, EnsembleExchange,
+// SimulationAnalysisLoop, and the higher-order Composite) remain the
+// concise front door for the classic scenarios; they are now thin
+// constructors that *lower* onto the graph model and run through the
+// same executor (ResourceHandle.Execute / Run). The seed pattern
+// executor is kept as a reference path (Config.Exec = ExecRef) and the
+// graph-parity tests pin both paths to bit-identical reports.
 //
 // Execution happens on a simulated HPC testbed (batch queues, pilot
 // agents, data staging) driven by a virtual clock, so thousand-core
 // experiments complete in milliseconds while preserving the concurrency
 // structure of the real system. See DESIGN.md for the substitution map
-// against the paper's physical testbed.
+// against the paper's physical testbed and for the graph model's
+// lowering table.
 package entk
 
 import (
@@ -43,7 +55,7 @@ import (
 )
 
 // Version identifies this release of the toolkit reproduction.
-const Version = "1.0.0"
+const Version = "1.1.0"
 
 // Re-exported user-facing types. The implementations live in
 // internal/core (the toolkit) and internal supporting packages.
@@ -54,6 +66,25 @@ type (
 	Config = core.Config
 	// ResourceHandle allocates resources and runs patterns.
 	ResourceHandle = core.ResourceHandle
+
+	// Task is one node of the graph: a named kernel invocation.
+	Task = core.Task
+	// Stage is a set of tasks with a barrier and an adaptivity hook.
+	Stage = core.Stage
+	// Pipeline is an ordered sequence of stages.
+	Pipeline = core.Pipeline
+	// StageCtl is the PostStage hook's view of a settled stage.
+	StageCtl = core.StageCtl
+	// AppManager executes heterogeneous pipelines concurrently.
+	AppManager = core.AppManager
+	// CampaignReport aggregates one AppManager run.
+	CampaignReport = core.CampaignReport
+	// ComputeUnit is the runtime's handle on one executed task, as seen
+	// by StageCtl.Units.
+	ComputeUnit = pilot.ComputeUnit
+	// ExecPath selects the executor implementation (Config.Exec).
+	ExecPath = core.ExecPath
+
 	// Pattern is an execution pattern.
 	Pattern = core.Pattern
 	// EnsembleOfPipelines is the independent-pipelines pattern.
@@ -66,7 +97,7 @@ type (
 	Composite = core.Composite
 	// ExchangeMode selects EE exchange semantics.
 	ExchangeMode = core.ExchangeMode
-	// Report is the TTC decomposition of one pattern run.
+	// Report is the TTC decomposition of one pattern or pipeline run.
 	Report = core.Report
 	// PhaseStat aggregates one pattern phase.
 	PhaseStat = core.PhaseStat
@@ -87,6 +118,15 @@ type (
 	KernelRegistry = kernels.Registry
 	// KernelSpec defines a kernel plugin.
 	KernelSpec = kernels.Spec
+)
+
+// Executor paths (Config.Exec): the graph executor is the default; the
+// reference path is the seed pattern executor, kept as the semantic
+// baseline the graph-parity tests compare against (the executor
+// analogue of EngineRef and ProfLayoutRef).
+const (
+	ExecGraph = core.ExecGraph
+	ExecRef   = core.ExecRef
 )
 
 // Exchange mode values.
@@ -147,6 +187,10 @@ func NewClockEngine(e ClockEngine) *Clock { return vclock.NewVirtualEngine(e) }
 func NewResourceHandle(resource string, cores int, walltime time.Duration, cfg Config) (*ResourceHandle, error) {
 	return core.NewResourceHandle(resource, cores, walltime, cfg)
 }
+
+// NewAppManager returns an application manager that executes pipelines
+// concurrently on the handle's allocation.
+func NewAppManager(h *ResourceHandle) *AppManager { return core.NewAppManager(h) }
 
 // NewKernelRegistry returns a registry pre-populated with the builtin
 // kernel plugins (md.amber, md.gromacs, ana.coco, ana.lsdmap, ...);

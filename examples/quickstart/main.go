@@ -1,8 +1,15 @@
-// Command quickstart is the smallest complete EnTK application: the
-// paper's character-count workload (Section IV-A) as an ensemble of 16
-// two-stage pipelines on XSEDE Comet. Stage 1 creates a 10 MB file per
-// pipeline (mkfile); stage 2 counts its characters (ccount). The program
-// prints the TTC decomposition the toolkit reports.
+// Command quickstart is the smallest complete EnTK application on the
+// graph API: the paper's character-count workload (Section IV-A) as 16
+// two-stage pipelines — stage 1 creates a 10 MB file per pipeline
+// (mkfile), stage 2 counts its characters (ccount) — built as explicit
+// entk.Pipeline values and executed concurrently by one AppManager on
+// an XSEDE Comet allocation. The program prints the campaign's TTC
+// decomposition and one pipeline's report.
+//
+// The same workload fits the classic pattern API in a few lines
+// (&entk.EnsembleOfPipelines{Pipelines: 16, Stages: 2, ...} through
+// handle.Execute — see examples/pipeline-bioinfo for a full pattern-API
+// application); patterns lower onto exactly this graph.
 package main
 
 import (
@@ -21,33 +28,48 @@ func main() {
 		log.Fatalf("resource handle: %v", err)
 	}
 
-	pattern := &entk.EnsembleOfPipelines{
-		Pipelines: 16,
-		Stages:    2,
-		StageKernel: func(stage, pipe int) *entk.Kernel {
-			if stage == 1 {
-				return &entk.Kernel{
-					Name:   "misc.mkfile",
-					Args:   []string{fmt.Sprintf("of=file-%02d.dat", pipe)},
-					Params: map[string]float64{"size_mb": 10},
-				}
-			}
-			return &entk.Kernel{
-				Name:   "misc.ccount",
-				Args:   []string{fmt.Sprintf("file-%02d.dat", pipe)},
-				Params: map[string]float64{"size_mb": 10},
-			}
-		},
+	pipelines := make([]*entk.Pipeline, 16)
+	for i := range pipelines {
+		file := fmt.Sprintf("file-%02d.dat", i+1)
+		pipelines[i] = &entk.Pipeline{
+			Name: fmt.Sprintf("sample-%02d", i+1),
+			Stages: []*entk.Stage{
+				{Name: "mkfile", Tasks: []entk.Task{{
+					Name: "mkfile." + file,
+					Kernel: &entk.Kernel{
+						Name:   "misc.mkfile",
+						Args:   []string{"of=" + file},
+						Params: map[string]float64{"size_mb": 10},
+					},
+				}}},
+				{Name: "ccount", Tasks: []entk.Task{{
+					Name: "ccount." + file,
+					Kernel: &entk.Kernel{
+						Name:   "misc.ccount",
+						Args:   []string{file},
+						Params: map[string]float64{"size_mb": 10},
+					},
+				}}},
+			},
+		}
 	}
 
-	var report *entk.Report
+	var campaign *entk.CampaignReport
 	v.Run(func() {
-		report, err = handle.Execute(pattern)
+		if err = handle.Allocate(); err != nil {
+			return
+		}
+		campaign, err = entk.NewAppManager(handle).Run(pipelines...)
+		if derr := handle.Deallocate(); err == nil {
+			err = derr
+		}
 	})
 	if err != nil {
-		log.Fatalf("execute: %v", err)
+		log.Fatalf("campaign: %v", err)
 	}
 
-	fmt.Println("quickstart: 16 pipelines x 2 stages on", report.Resource)
-	fmt.Print(report)
+	fmt.Println("quickstart: 16 concurrent 2-stage pipelines on", campaign.Campaign.Resource)
+	fmt.Printf("campaign: %d tasks in %.1fs simulated\n",
+		campaign.Campaign.Tasks, campaign.Campaign.TTC.Seconds())
+	fmt.Print(campaign.Pipelines[0])
 }

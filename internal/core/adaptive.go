@@ -94,19 +94,7 @@ func (ex *executor) runComposite(c *Composite) error {
 		ex.tasks += tasks
 		ex.retries += retries
 		ex.patternOverhead += overhead
-		for _, ph := range memberPhases {
-			name := fmt.Sprintf("p%d.%s", i+1, ph.Name)
-			st, ok := ex.phases.byKey[name]
-			if !ok {
-				st = &PhaseStat{Name: name}
-				ex.phases.byKey[name] = st
-				ex.phases.order = append(ex.phases.order, name)
-			}
-			st.Span += ph.Span
-			st.Busy += ph.Busy
-			st.Tasks += ph.Tasks
-			st.Occurrences += ph.Occurrences
-		}
+		ex.phases.merge(fmt.Sprintf("p%d.", i+1), memberPhases)
 		ex.mu.Unlock()
 		if err != nil {
 			return fmt.Errorf("core: composite member %d (%s): %w", i+1, m.PatternName(), err)

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"entk/internal/pad"
+	"entk/internal/vclock"
+)
+
+// AppManager executes application-built pipelines — many, heterogeneous,
+// concurrent — on one resource handle (the session-level application
+// manager the paper's fixed patterns hide). Each pipeline submits its
+// bulk waves independently, so waves from different live pipelines
+// interleave at the unit manager and the pilot packs them onto one
+// allocation; per-pipeline accounting stays separate and the campaign
+// report aggregates it.
+type AppManager struct {
+	h *ResourceHandle
+}
+
+// NewAppManager returns an application manager bound to the handle. The
+// handle must be allocated before Run (Allocate, or via Execute-style
+// sequencing by the caller).
+func NewAppManager(h *ResourceHandle) *AppManager {
+	return &AppManager{h: h}
+}
+
+// Handle returns the underlying resource handle.
+func (am *AppManager) Handle() *ResourceHandle { return am.h }
+
+// CampaignReport is the outcome of one AppManager.Run: the aggregate
+// campaign view plus one report per pipeline.
+type CampaignReport struct {
+	// Campaign aggregates the whole run: TTC is the campaign span (first
+	// submission to last completion), task/retry/overhead counters are
+	// sums over pipelines, and each pipeline's phases appear prefixed
+	// with "<pipeline>.". CoreOverhead, QueueWait, and AgentStartup are
+	// handle-level quantities and appear here, not per pipeline.
+	Campaign *Report
+	// Pipelines holds per-pipeline reports in submission order. Each
+	// TTC spans that pipeline's own first-submission-to-completion
+	// window; pipelines run concurrently, so these overlap and their
+	// sum exceeds the campaign TTC.
+	Pipelines []*Report
+}
+
+// Run executes the pipelines concurrently on the allocated resources
+// and blocks until every pipeline settles. A failing pipeline never
+// cancels its siblings; the returned error joins every pipeline
+// failure. Like ResourceHandle.Run it must be called from a registered
+// clock process, and multiple campaigns (or campaigns and patterns)
+// may run sequentially on one handle.
+func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
+	h := am.h
+	if len(pls) == 0 {
+		return nil, fmt.Errorf("core: campaign with no pipelines")
+	}
+	names := make([]string, len(pls))
+	for i, pl := range pls {
+		if err := pl.validate(); err != nil {
+			return nil, err
+		}
+		names[i] = pl.Name
+		if names[i] == "" {
+			names[i] = "p" + pad.Int(i+1, 1)
+		}
+	}
+	h.mu.Lock()
+	ok := h.allocated
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: campaign Run before Allocate")
+	}
+	if err := h.waitActive(); err != nil {
+		return nil, err
+	}
+
+	v := h.cfg.Clock
+	h.sess.Prof.RecordID(h.coreEnt, h.evRunStart)
+	t0 := v.Now()
+	reports := make([]*Report, len(pls))
+	errs := make([]error, len(pls))
+	wg := vclock.NewWaitGroup(v, "campaign pipelines")
+	for i := range pls {
+		i := i
+		pl := pls[i]
+		wg.Add(1)
+		v.Go(func() {
+			defer wg.Done()
+			ex := newNamedExecutor(h, names[i])
+			ex.planned = pl.TaskCount()
+			pt0 := v.Now()
+			err := ex.runPipelineSet([]*Pipeline{pl})
+			rep := ex.report()
+			rep.TTC = v.Now() - pt0
+			reports[i] = rep
+			errs[i] = err
+		})
+	}
+	wg.Wait()
+	ttc := v.Now() - t0
+	h.sess.Prof.RecordID(h.coreEnt, h.evRunStop)
+
+	agg := &Report{
+		Pattern:  "campaign",
+		Resource: h.Resource,
+		Cores:    h.Cores,
+		TTC:      ttc,
+	}
+	phases := newPhaseAccumulator()
+	var joined []error
+	for i, rep := range reports {
+		agg.PlannedTasks += rep.PlannedTasks
+		agg.Tasks += rep.Tasks
+		agg.Retries += rep.Retries
+		agg.PatternOverhead += rep.PatternOverhead
+		phases.merge(names[i]+".", rep.Phases)
+		if errs[i] != nil {
+			joined = append(joined, fmt.Errorf("core: campaign pipeline %s: %w", names[i], errs[i]))
+		}
+	}
+	agg.Phases = phases.stats()
+	h.mu.Lock()
+	agg.CoreOverhead = h.allocCtl + h.deallocCtl
+	agg.QueueWait = h.queueWait
+	agg.AgentStartup = h.agentStartup
+	h.mu.Unlock()
+	return &CampaignReport{Campaign: agg, Pipelines: reports}, errors.Join(joined...)
+}

@@ -41,15 +41,19 @@ func eeTaskName(cycle, replica int) string {
 	return "cycle" + pad.Int(cycle, 3) + ".replica" + pad.Int(replica, 5)
 }
 
-// executor is the execution plugin: it binds a pattern's kernels into
-// pilot units, submits them (serialized, like the real toolkit's client
-// process), enforces the pattern's synchronisation, retries failures, and
-// accumulates the report.
+// executor is the execution engine's per-run state: it binds kernels
+// into pilot units, submits them (serialized, like the real toolkit's
+// client process), enforces synchronisation, retries failures, and
+// accumulates the report. Two implementations share it: the graph
+// executor (graph.go, the default — patterns are lowered to Pipelines,
+// see lower.go) and the seed pattern executor kept below as the
+// ExecRef reference path.
 type executor struct {
-	h   *ResourceHandle
-	pat Pattern
-	v   *vclock.Virtual
-	um  *pilot.UnitManager
+	h    *ResourceHandle
+	pat  Pattern // nil for AppManager pipeline runs
+	name string  // report label: pattern name or pipeline name
+	v    *vclock.Virtual
+	um   *pilot.UnitManager
 
 	// subLock serializes task submission; the time spent holding it is
 	// the pattern overhead.
@@ -64,20 +68,39 @@ type executor struct {
 	evSubStart, evSubStop profile.NameID
 
 	mu              sync.Mutex
+	planned         int // static task plan (Pattern/Pipeline TaskCount)
 	patternOverhead time.Duration
 	tasks           int
 	retries         int
 	phases          *phaseAccumulator
+
+	// Deferred phase buckets (graph executor only): units accumulated
+	// under a phase name and folded into the stats once the pipeline set
+	// completes. See registerDeferredPhase in graph.go.
+	deferOrder []string
+	deferUnits map[string][]*pilot.ComputeUnit
+	deferForce map[string]bool
 }
 
 func newExecutor(h *ResourceHandle, p Pattern) *executor {
+	ex := newNamedExecutor(h, p.PatternName())
+	ex.pat = p
+	ex.planned = p.TaskCount()
+	return ex
+}
+
+// newNamedExecutor builds an executor without a pattern — the AppManager
+// uses it to run application-built pipelines directly.
+func newNamedExecutor(h *ResourceHandle, name string) *executor {
 	ex := &executor{
-		h:       h,
-		pat:     p,
-		v:       h.cfg.Clock,
-		um:      h.um,
-		subLock: vclock.NewSemaphore(h.cfg.Clock, "core submit", 1),
-		phases:  newPhaseAccumulator(),
+		h:          h,
+		name:       name,
+		v:          h.cfg.Clock,
+		um:         h.um,
+		subLock:    vclock.NewSemaphore(h.cfg.Clock, "core submit", 1),
+		phases:     newPhaseAccumulator(),
+		deferUnits: make(map[string][]*pilot.ComputeUnit),
+		deferForce: make(map[string]bool),
 	}
 	ex.prof = h.sess.Prof
 	ex.patEnt = ex.prof.Intern("pattern")
@@ -91,9 +114,10 @@ func (ex *executor) report() *Report {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	return &Report{
-		Pattern:         ex.pat.PatternName(),
+		Pattern:         ex.name,
 		Resource:        ex.h.Resource,
 		Cores:           ex.h.Cores,
+		PlannedTasks:    ex.planned,
 		Tasks:           ex.tasks,
 		Retries:         ex.retries,
 		PatternOverhead: ex.patternOverhead,
@@ -101,8 +125,18 @@ func (ex *executor) report() *Report {
 	}
 }
 
-// run dispatches to the pattern-specific plugin.
+// run executes the pattern on the configured path: the graph executor
+// (default) or the seed reference executor (Config.Exec = ExecRef).
 func (ex *executor) run() error {
+	if ex.h.cfg.Exec == ExecRef {
+		return ex.runRef()
+	}
+	return ex.runGraph()
+}
+
+// runRef dispatches to the seed pattern-specific plugin — the reference
+// execution path the graph-parity tests compare against.
+func (ex *executor) runRef() error {
 	switch p := ex.pat.(type) {
 	case *EnsembleOfPipelines:
 		return ex.runEoP(p)
@@ -118,6 +152,22 @@ func (ex *executor) run() error {
 	default:
 		return fmt.Errorf("core: no execution plugin for pattern %T", ex.pat)
 	}
+}
+
+// runGraph lowers the pattern to pipelines and runs them on the graph
+// executor. Composite recurses through runComposite (whose member
+// sub-executors dispatch per the configured path again), so composite
+// members lower individually and the accounting merge is shared with
+// the reference path.
+func (ex *executor) runGraph() error {
+	if c, ok := ex.pat.(*Composite); ok {
+		return ex.runComposite(c)
+	}
+	pls, err := ex.lowerPattern(ex.pat)
+	if err != nil {
+		return err
+	}
+	return ex.runPipelineSet(pls)
 }
 
 // ---------------------------------------------------------------------------
@@ -226,7 +276,7 @@ func (ex *executor) runTasksVia(specs []taskSpec,
 		pending = next
 	}
 	if len(failures) > 0 {
-		return result, &PatternError{Pattern: ex.pat.PatternName(), Failed: failures}
+		return result, &PatternError{Pattern: ex.name, Failed: failures}
 	}
 	return result, nil
 }
@@ -441,9 +491,8 @@ func (ex *executor) runEEPairwise(p *EnsembleExchange) error {
 		}
 	}
 
-	type pairKey struct{ cycle, lo int }
+	rv := newPairRendezvous(ex.v, p, partner)
 	var mu sync.Mutex
-	rendezvous := make(map[pairKey]*vclock.Event)
 	var simUnits, exUnits []*pilot.ComputeUnit
 	var firstErr error
 
@@ -466,49 +515,42 @@ func (ex *executor) runEEPairwise(p *EnsembleExchange) error {
 				units, err := ex.runTasks([]taskSpec{{name, p.SimulationKernel(cycle, r)}})
 				if err != nil {
 					fail(err)
+					// Release current and future partners before the
+					// replica disappears, or they would deadlock at
+					// their rendezvous.
+					rv.abandon(r, cycle)
 					return
 				}
 				mu.Lock()
 				simUnits = append(simUnits, units...)
 				mu.Unlock()
 
-				q := partner(cycle, r)
-				if q < 1 || q > p.Replicas || q == r {
-					continue // unpaired this cycle
-				}
-				lo, hi := r, q
-				if q < r {
-					lo, hi = q, r
-				}
-				key := pairKey{cycle, lo}
-				mu.Lock()
-				ev, exists := rendezvous[key]
-				if !exists {
-					ev = vclock.NewEvent(ex.v, fmt.Sprintf("ee pair c%d (%d,%d)", cycle, lo, hi))
-					rendezvous[key] = ev
-				}
-				mu.Unlock()
-				if !exists {
+				e, role := rv.arrive(r, cycle)
+				switch role {
+				case pairUnpaired:
+					continue // unpaired this cycle (or partner failed)
+				case pairFirst:
 					// First arriver waits for its partner to run the
 					// exchange — no other replicas are involved.
-					ev.Wait()
+					e.ev.Wait()
 					continue
 				}
 				// Second arriver executes the pairwise exchange task.
-				exName := fmt.Sprintf("cycle%03d.exchange.%05d-%05d", cycle, lo, hi)
+				exName := fmt.Sprintf("cycle%03d.exchange.%05d-%05d", cycle, e.lo, e.hi)
 				exu, err := ex.runTasks([]taskSpec{{exName, p.ExchangeKernel(cycle)}})
 				if err != nil {
 					fail(err)
-					ev.Fire()
+					e.ev.Fire()
+					rv.abandon(r, cycle+1)
 					return
 				}
 				mu.Lock()
 				exUnits = append(exUnits, exu...)
 				mu.Unlock()
 				if p.PairLogic != nil {
-					p.PairLogic(cycle, lo, hi)
+					p.PairLogic(cycle, e.lo, e.hi)
 				}
-				ev.Fire()
+				e.ev.Fire()
 			}
 		})
 	}

@@ -20,6 +20,12 @@ type Config struct {
 	Cost pilot.CostModel
 	// Runtime tunes the pilot layer; zero value takes pilot defaults.
 	Runtime pilot.Config
+	// Exec selects the executor implementation: the graph executor
+	// (default — patterns are lowered to Task/Stage/Pipeline graphs and
+	// run by the engine in graph.go) or the seed pattern executor
+	// (ExecRef), kept as the reference path the graph-parity tests
+	// compare against. Both produce bit-identical Reports.
+	Exec ExecPath
 	// MaxRetries is the default per-task retry budget (0 = no retries).
 	MaxRetries int
 	// InitOverhead models toolkit bootstrap (module loading, state
@@ -116,6 +122,17 @@ func (h *ResourceHandle) Session() *pilot.Session { return h.sess }
 
 // Pilot exposes the allocated pilot, nil before Allocate.
 func (h *ResourceHandle) Pilot() *pilot.ComputePilot { return h.p }
+
+// ControlOverhead returns the toolkit's control-plane time so far
+// (Allocate plus any completed Deallocate) — what Execute patches into
+// Report.CoreOverhead after deallocation. Campaign runners that
+// sequence Allocate / AppManager.Run / Deallocate themselves use it to
+// account the dealloc phase like the pattern path does.
+func (h *ResourceHandle) ControlOverhead() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allocCtl + h.deallocCtl
+}
 
 // Allocate initialises the toolkit and submits the resource request. It
 // returns once the request is submitted (not when it becomes active);

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sync"
+
+	"entk/internal/vclock"
 )
 
 // Pattern is an execution pattern: a parametrised template capturing the
@@ -12,7 +15,10 @@ import (
 type Pattern interface {
 	// PatternName identifies the pattern in reports.
 	PatternName() string
-	// TaskCount returns how many tasks the pattern will generate.
+	// TaskCount returns the static task plan — how many tasks the
+	// pattern will generate if no adaptive hook fires. Adaptive runs
+	// may execute more or fewer; Report.Tasks carries the actual
+	// executed count (and Report.PlannedTasks echoes this plan).
 	TaskCount() int
 	// validate checks the parametrisation before execution.
 	validate() error
@@ -151,6 +157,113 @@ func (p *EnsembleExchange) validate() error {
 	return nil
 }
 
+// pairRendezvous coordinates pairwise-EE partners, shared by the
+// reference executor and the graph lowering so both paths fail the same
+// way. Each (cycle, pair) shares one entry holding the rendezvous
+// event; a replica that dies (retries exhausted) abandons its current
+// and future pairings so partners proceed without an exchange instead
+// of deadlocking at a rendezvous nobody will ever complete.
+type pairRendezvous struct {
+	v       *vclock.Virtual
+	p       *EnsembleExchange
+	partner func(cycle, replica int) int
+
+	mu      sync.Mutex
+	entries map[pairKey]*pairEntry
+}
+
+type pairKey struct{ cycle, lo int }
+
+type pairEntry struct {
+	ev     *vclock.Event
+	lo, hi int
+	dead   bool // a member died before the rendezvous: no exchange
+}
+
+// pairRole is a replica's role at one cycle's rendezvous.
+type pairRole int
+
+const (
+	// pairUnpaired: sit this cycle out (no partner, or partner died).
+	pairUnpaired pairRole = iota
+	// pairFirst: wait on the entry's event for the partner's exchange.
+	pairFirst
+	// pairSecond: run the exchange task, then fire the event.
+	pairSecond
+)
+
+func newPairRendezvous(v *vclock.Virtual, p *EnsembleExchange, partner func(cycle, replica int) int) *pairRendezvous {
+	return &pairRendezvous{v: v, p: p, partner: partner, entries: make(map[pairKey]*pairEntry)}
+}
+
+// pairFor resolves replica r's cycle pairing, ok=false when unpaired.
+func (rv *pairRendezvous) pairFor(r, cycle int) (lo, hi int, ok bool) {
+	q := rv.partner(cycle, r)
+	if q < 1 || q > rv.p.Replicas || q == r {
+		return 0, 0, false
+	}
+	if q < r {
+		return q, r, true
+	}
+	return r, q, true
+}
+
+// arrive registers replica r at its cycle rendezvous and returns its
+// entry and role.
+func (rv *pairRendezvous) arrive(r, cycle int) (*pairEntry, pairRole) {
+	lo, hi, ok := rv.pairFor(r, cycle)
+	if !ok {
+		return nil, pairUnpaired
+	}
+	key := pairKey{cycle, lo}
+	rv.mu.Lock()
+	e, exists := rv.entries[key]
+	if !exists {
+		e = &pairEntry{
+			ev: vclock.NewEvent(rv.v, fmt.Sprintf("ee pair c%d (%d,%d)", cycle, lo, hi)),
+			lo: lo, hi: hi,
+		}
+		rv.entries[key] = e
+	}
+	dead := e.dead
+	rv.mu.Unlock()
+	switch {
+	case dead:
+		return e, pairUnpaired
+	case !exists:
+		return e, pairFirst
+	default:
+		return e, pairSecond
+	}
+}
+
+// abandon poisons replica r's pairings from cycle `from` onward: a
+// partner already waiting is woken, a partner yet to arrive will skip
+// the exchange (pairUnpaired). Idempotent; safe when both members of a
+// pair die.
+func (rv *pairRendezvous) abandon(r, from int) {
+	for cycle := from; cycle <= rv.p.Cycles; cycle++ {
+		lo, hi, ok := rv.pairFor(r, cycle)
+		if !ok {
+			continue
+		}
+		key := pairKey{cycle, lo}
+		rv.mu.Lock()
+		e, exists := rv.entries[key]
+		if !exists {
+			rv.entries[key] = &pairEntry{lo: lo, hi: hi, dead: true}
+			rv.mu.Unlock()
+			continue
+		}
+		e.dead = true
+		ev := e.ev
+		rv.mu.Unlock()
+		if ev != nil {
+			ev.Fire() // harmless no-op if the exchange already fired it
+		}
+	}
+}
+
 // defaultPartner implements neighbour pairing with alternating parity:
 // odd cycles pair (1,2),(3,4),...; even cycles pair (2,3),(4,5),...
 // Unpaired replicas (the ends) get 0 and skip the exchange.
@@ -208,7 +321,12 @@ type SimulationAnalysisLoop struct {
 // PatternName implements Pattern.
 func (p *SimulationAnalysisLoop) PatternName() string { return "simulation-analysis-loop" }
 
-// TaskCount implements Pattern.
+// TaskCount implements Pattern. By contract it is the static plan: it
+// counts Iterations full iterations at the static Simulations width
+// even when AdaptiveSimulations or AdaptiveStop is set (the hooks run
+// only during execution, so no better estimate exists up front).
+// Adaptive runs read their actual task count from Report.Tasks, which
+// counts executed first attempts.
 func (p *SimulationAnalysisLoop) TaskCount() int {
 	n := p.Iterations * (p.Simulations + p.Analyses)
 	if p.PreLoop != nil {

@@ -33,8 +33,14 @@ type Report struct {
 	Resource string
 	// Cores is the pilot size used.
 	Cores int
-	// Tasks is the number of tasks the pattern generated (first
-	// attempts; retries are counted separately).
+	// PlannedTasks is the static task plan (Pattern.TaskCount or
+	// Pipeline.TaskCount before execution). Adaptive hooks
+	// (AdaptiveSimulations, StopWhen, AdaptiveStop, PostStage) make the
+	// executed count diverge from the plan in either direction.
+	PlannedTasks int
+	// Tasks is the number of tasks actually executed (first attempts;
+	// retries are counted separately). This — not PlannedTasks — is the
+	// number adaptive runs should report.
 	Tasks int
 	// Retries is the number of resubmitted task attempts.
 	Retries int
@@ -120,6 +126,25 @@ func (a *phaseAccumulator) add(name string, span, busy time.Duration, tasks int)
 	st.Busy += busy
 	st.Tasks += tasks
 	st.Occurrences++
+}
+
+// merge folds already-aggregated phase stats into the accumulator under
+// a prefix — how composite members and campaign pipelines appear in a
+// parent report. Caller synchronises.
+func (a *phaseAccumulator) merge(prefix string, phases []PhaseStat) {
+	for _, ph := range phases {
+		name := prefix + ph.Name
+		st, ok := a.byKey[name]
+		if !ok {
+			st = &PhaseStat{Name: name}
+			a.byKey[name] = st
+			a.order = append(a.order, name)
+		}
+		st.Span += ph.Span
+		st.Busy += ph.Busy
+		st.Tasks += ph.Tasks
+		st.Occurrences += ph.Occurrences
+	}
 }
 
 // stats returns the aggregates in first-occurrence order.

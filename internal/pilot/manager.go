@@ -4,22 +4,51 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"entk/internal/profile"
 )
 
 // UnitManager accepts unit descriptions, binds each to a pilot per the
 // configured scheduling policy, and forwards it to that pilot's agent
-// (mirroring rp.UnitManager).
+// (mirroring rp.UnitManager). Submissions arrive as bulk waves — one
+// Submit or SubmitStreamed call per wave — and waves from any number of
+// concurrent callers (the AppManager runs one submitting process per
+// live pipeline) interleave safely: per-wave state is call-local, the
+// pilot table and round-robin cursor are locked, and the agents accept
+// units from many submitters at once. Each wave brackets itself on the
+// "umgr" entity so interleaving is visible in the trace.
 type UnitManager struct {
 	sess *Session
+	ent  profile.EntityID // "umgr": wave brackets record here
 
 	mu     sync.Mutex
 	pilots []*ComputePilot
 	rr     int // round-robin cursor
+	waves  int // waves accepted (Submit + SubmitStreamed calls)
 }
 
 // NewUnitManager returns a unit manager bound to the session.
 func NewUnitManager(s *Session) *UnitManager {
-	return &UnitManager{sess: s}
+	return &UnitManager{sess: s, ent: s.Prof.Intern("umgr")}
+}
+
+// Waves reports how many submission waves the manager has accepted.
+func (um *UnitManager) Waves() int {
+	um.mu.Lock()
+	defer um.mu.Unlock()
+	return um.waves
+}
+
+// beginWave/endWave bracket one bulk submission on the trace.
+func (um *UnitManager) beginWave() {
+	um.mu.Lock()
+	um.waves++
+	um.mu.Unlock()
+	um.sess.Prof.RecordID(um.ent, um.sess.vocab.evWaveStart)
+}
+
+func (um *UnitManager) endWave() {
+	um.sess.Prof.RecordID(um.ent, um.sess.vocab.evWaveStop)
 }
 
 // AddPilot makes a pilot available for unit scheduling.
@@ -77,6 +106,8 @@ func (um *UnitManager) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
 			return nil, err
 		}
 	}
+	um.beginWave()
+	defer um.endWave()
 	units := make([]*ComputeUnit, 0, len(descs))
 	for _, d := range descs {
 		u := newUnit(um.sess, d)
@@ -115,6 +146,8 @@ func (um *UnitManager) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, 
 			return nil, err
 		}
 	}
+	um.beginWave()
+	defer um.endWave()
 	perUnit := um.sess.Cfg.UMSubmitPerUnit
 	units := make([]*ComputeUnit, 0, len(descs))
 	for i := range descs {

@@ -126,6 +126,7 @@ type profVocab struct {
 	evStageinStart, evStageinStop             profile.NameID
 	evExecStart, evExecStop                   profile.NameID
 	evStageoutStart, evStageoutStop           profile.NameID
+	evWaveStart, evWaveStop                   profile.NameID
 	unitState                                 [len(unitStateEvents)]profile.NameID
 	pilotState                                [len(pilotStateEvents)]profile.NameID
 }
@@ -133,6 +134,8 @@ type profVocab struct {
 func (vo *profVocab) init(p *profile.Profiler) {
 	vo.evNew = p.InternName("new")
 	vo.evUmgrBound = p.InternName("umgr_bound")
+	vo.evWaveStart = p.InternName("wave_submit_start")
+	vo.evWaveStop = p.InternName("wave_submit_stop")
 	vo.evSubmit = p.InternName("submit")
 	vo.evJobRunning = p.InternName("job_running")
 	vo.evActive = p.InternName("active")

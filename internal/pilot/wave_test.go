@@ -1,0 +1,100 @@
+package pilot
+
+import (
+	"testing"
+	"time"
+
+	"entk/internal/vclock"
+)
+
+// TestInterleavedBulkWaves is the AppManager's runtime contract at the
+// pilot layer: several live submitters (one per pipeline) push bulk
+// waves into one unit manager concurrently — mixing the batched and the
+// streamed path — and every unit must bind, execute, and finish, with
+// each wave bracketed on the trace. The waves overlap in virtual time
+// (each submitter sleeps out its own client-side cost concurrently), so
+// this exercises exactly the interleaving a heterogeneous campaign
+// produces.
+func TestInterleavedBulkWaves(t *testing.T) {
+	v := vclock.NewVirtual()
+	s := testSession(t, v)
+	um := NewUnitManager(s)
+
+	var waves [4][]*ComputeUnit
+	v.Run(func() {
+		_, p := startPilot(t, s, 32)
+		um.AddPilot(p)
+		wg := vclock.NewWaitGroup(v, "submitters")
+		for w := 0; w < len(waves); w++ {
+			w := w
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				descs := make([]UnitDescription, 8+4*w)
+				for i := range descs {
+					descs[i] = sleepUnit("w"+pad2(w, i), float64(1+w))
+				}
+				var err error
+				if w%2 == 0 {
+					waves[w], err = um.Submit(descs)
+				} else {
+					waves[w], err = um.SubmitStreamed(descs)
+				}
+				if err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		wg.Wait()
+		for w := range waves {
+			for _, u := range waves[w] {
+				if st := u.WaitFinal(); st != UnitDone {
+					t.Errorf("wave %d unit %s final state %v", w, u.Entity(), st)
+				}
+			}
+		}
+		p.Cancel()
+		p.WaitFinal()
+	})
+
+	if got := um.Waves(); got != len(waves) {
+		t.Errorf("wave count = %d, want %d", got, len(waves))
+	}
+	// Every wave bracketed itself on the trace, and the brackets
+	// overlap: the first wave's stop comes after the last wave's start
+	// (waves sleep out their submission costs concurrently).
+	starts, stops := 0, 0
+	var lastStart, firstStop time.Duration
+	firstStop = 1 << 62
+	for _, e := range s.Prof.Events() {
+		if e.Entity != "umgr" {
+			continue
+		}
+		switch e.Name {
+		case "wave_submit_start":
+			starts++
+			if e.T > lastStart {
+				lastStart = e.T
+			}
+		case "wave_submit_stop":
+			stops++
+			if e.T < firstStop {
+				firstStop = e.T
+			}
+		}
+	}
+	if starts != len(waves) || stops != len(waves) {
+		t.Errorf("wave brackets = %d/%d, want %d/%d", starts, stops, len(waves), len(waves))
+	}
+	if firstStop < lastStart {
+		t.Logf("waves interleaved: last start %v before first stop %v", lastStart, firstStop)
+	} else if firstStop == lastStart {
+		t.Log("waves met exactly at one instant")
+	}
+}
+
+// pad2 builds a small unique unit name without fmt.
+func pad2(w, i int) string {
+	const digits = "0123456789"
+	return string([]byte{digits[w%10], '.', digits[(i/10)%10], digits[i%10]})
+}

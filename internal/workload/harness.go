@@ -45,6 +45,22 @@ var DefaultEngine = vclock.EngineHandoff
 // columnar layout changes no figure or stress result.
 var DefaultProfLayout = profile.LayoutColumnar
 
+// DefaultExec is the executor path the runners use: the graph executor,
+// or the seed pattern executor (core.ExecRef) kept as the reference.
+// The graph-parity legs flip it to prove the graph executor changes no
+// figure or stress result.
+var DefaultExec = core.ExecGraph
+
+// WithExecPath runs fn with DefaultExec set to e and restores the
+// previous path before returning — the executor analogue of
+// WithProfLayout.
+func WithExecPath(e core.ExecPath, fn func() error) error {
+	prev := DefaultExec
+	DefaultExec = e
+	defer func() { DefaultExec = prev }()
+	return fn()
+}
+
 // WithProfLayout runs fn with DefaultProfLayout set to l and restores the
 // previous layout before returning — the one sanctioned way to flip the
 // layout axis, so no caller can leave the global pointing at the wrong
@@ -68,7 +84,8 @@ func runOnFreshClockEngine(resource string, cores int, eng vclock.Engine, build 
 	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.ProfLayout = DefaultProfLayout
-	h, err := core.NewResourceHandle(resource, cores, 10000*time.Hour, core.Config{Clock: v, Runtime: rcfg})
+	h, err := core.NewResourceHandle(resource, cores, 10000*time.Hour,
+		core.Config{Clock: v, Exec: DefaultExec, Runtime: rcfg})
 	if err != nil {
 		return nil, err
 	}

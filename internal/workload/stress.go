@@ -49,14 +49,24 @@ func PilotThroughput(rescan bool) error {
 // unit of measurement behind the engine × scheduler throughput matrix in
 // BENCH_PR<N>.json.
 func PilotThroughputOn(rescan bool, eng vclock.Engine) error {
+	_, err := runThroughputWorkload(rescan, eng)
+	return err
+}
+
+// runThroughputWorkload executes the unit-throughput workload and
+// returns its finished handle (the session behind it stays queryable,
+// which is how ProfileTrace dumps the run's events). This is the single
+// definition of the workload, so the benchmark, entk-bench, and the
+// trace dump cannot drift apart.
+func runThroughputWorkload(rescan bool, eng vclock.Engine) (*core.ResourceHandle, error) {
 	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.Rescan = rescan
 	rcfg.ProfLayout = DefaultProfLayout
 	h, err := core.NewResourceHandle("xsede.stampede", ThroughputCores, 1000*time.Hour,
-		core.Config{Clock: v, Runtime: rcfg})
+		core.Config{Clock: v, Exec: DefaultExec, Runtime: rcfg})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// One kernel instance for every task: bind never mutates the kernel,
 	// and sharing keeps the per-task allocation off the measured path.
@@ -71,7 +81,10 @@ func PilotThroughputOn(rescan bool, eng vclock.Engine) error {
 			},
 		})
 	})
-	return runErr
+	if runErr != nil {
+		return nil, runErr
+	}
+	return h, nil
 }
 
 // Defaults of the stress sweeps.
