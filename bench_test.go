@@ -8,6 +8,7 @@
 package entk_test
 
 import (
+	"os"
 	"testing"
 	"time"
 
@@ -419,6 +420,68 @@ func BenchmarkStress100kMixed(b *testing.B) {
 		units = res.Campaign.Tasks
 	}
 	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkStress100kOversub runs the oversubscribed mixed campaign:
+// peak demand 1.375x the 65536-core machine, so stages split across
+// scheduling waves and the three pipelines contend for cores — the
+// multi-wave sibling of BenchmarkStress100kMixed.
+func BenchmarkStress100kOversub(b *testing.B) {
+	b.ReportAllocs()
+	var units int
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Stress100kOversub(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.CheckOversub(); err != nil {
+			b.Fatal(err)
+		}
+		units = res.Campaign.Tasks
+	}
+	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkMultiPilotCampaign runs the two-machine campaign: tagged
+// single-core and 4-core-MPI pipelines split by tag-affinity placement
+// over a Comet + Stampede resource set through one AppManager.
+func BenchmarkMultiPilotCampaign(b *testing.B) {
+	b.ReportAllocs()
+	var units int
+	for i := 0; i < b.N; i++ {
+		res, err := workload.MultiPilotCampaign(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Check(); err != nil {
+			b.Fatal(err)
+		}
+		units = res.Campaign.Tasks
+	}
+	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+}
+
+// BenchmarkStress1M is the guarded 1M-task probe: 2^20 single-stage
+// tasks through the 65536-core pilot in 16 scheduling waves. It
+// allocates on the order of a gigabyte per run, so it only runs when
+// ENTK_STRESS_1M=1 is set (it is not part of any CI row); its
+// allocs/peak-heap trajectory is recorded in BENCH_PR5.json via
+// entk-bench -stress1m.
+func BenchmarkStress1M(b *testing.B) {
+	if os.Getenv("ENTK_STRESS_1M") == "" {
+		b.Skip("1M probe skipped (set ENTK_STRESS_1M=1 to run)")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Stress1MProbe()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].TTCSec, "ttc_s")
+			b.ReportMetric(float64(res.Rows[0].Tasks)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+		}
+	}
 }
 
 // BenchmarkStress10kRefEngine is the 10k stress point on the reference

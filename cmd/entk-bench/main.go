@@ -16,6 +16,11 @@
 //	entk-bench -engine ref     # run on the reference vclock engine
 //	entk-bench -graph          # the graph tier: mixed 100k campaign +
 //	                           # graph-vs-ref executor throughput A/B
+//	entk-bench -multipilot     # the multi-pilot tier: two-machine
+//	                           # tag-affinity campaign with per-pilot
+//	                           # utilization columns
+//	entk-bench -stress1m       # the guarded 1M-task probe (adds the
+//	                           # stress_1m section to -json output)
 //	entk-bench -profdump t.bin # write a binary session trace (one
 //	                           # unit-throughput run, profile dump format)
 //	entk-bench -cpuprofile entk.prof -stress
@@ -52,8 +57,10 @@ func fatalf(format string, v ...interface{}) {
 func main() {
 	fig := flag.Int("fig", 0, "figure number to run (3-9); 0 runs everything")
 	ablation := flag.String("ablation", "", "ablation to run: exchange, backfill, dispatch, placement, or all")
-	stress := flag.Bool("stress", false, "run the stress tiers (10k EE/EoP + the 100k and mixed tiers)")
+	stress := flag.Bool("stress", false, "run the stress tiers (10k EE/EoP + the 100k, mixed, oversubscribed, and multi-pilot tiers)")
 	graph := flag.Bool("graph", false, "run the graph tier: the mixed 100k campaign and the graph-vs-ref executor throughput A/B")
+	multipilot := flag.Bool("multipilot", false, "run the multi-pilot tier: the two-machine tag-affinity campaign with per-pilot utilization columns")
+	stress1m := flag.Bool("stress1m", false, "run the guarded 1M-task probe (recorded in -json as stress_1m)")
 	profDump := flag.String("profdump", "", "run the unit-throughput workload and write its binary session trace to this file")
 	jsonPath := flag.String("json", "", "write throughput and stress metrics to this JSON file")
 	engineName := flag.String("engine", "handoff", "vclock engine to run on: handoff or ref")
@@ -82,7 +89,7 @@ func main() {
 		defer stopProfile()
 	}
 
-	runAll := *fig == 0 && *ablation == "" && !*stress && !*graph && *profDump == "" && *jsonPath == ""
+	runAll := *fig == 0 && *ablation == "" && !*stress && !*graph && !*multipilot && !*stress1m && *profDump == "" && *jsonPath == ""
 
 	figures := map[int]func() error{
 		3: func() error { return printFig3() },
@@ -134,6 +141,13 @@ func main() {
 		}
 	}
 
+	if *multipilot && !*stress && *jsonPath == "" {
+		// The stress path runs (and with -json records) the tier itself.
+		if err := runMultiPilot(nil); err != nil {
+			fatalf("entk-bench: multipilot: %v", err)
+		}
+	}
+
 	if *profDump != "" {
 		if err := writeProfDump(*profDump); err != nil {
 			fatalf("entk-bench: profdump: %v", err)
@@ -141,10 +155,59 @@ func main() {
 	}
 
 	if *stress || *jsonPath != "" {
-		if err := runStress(*jsonPath); err != nil {
+		if err := runStress(*jsonPath, *stress1m); err != nil {
 			fatalf("entk-bench: stress: %v", err)
 		}
+	} else if *stress1m {
+		if _, err := runStress1M(); err != nil {
+			fatalf("entk-bench: stress1m: %v", err)
+		}
 	}
+}
+
+// runMultiPilot runs the two-machine tag-affinity campaign, prints its
+// tables (campaign rows plus the per-pilot utilization columns), and
+// hands the result back for JSON recording.
+func runMultiPilot(out *workload.MultiPilotResult) error {
+	res, err := workload.MultiPilotCampaign(nil)
+	if err != nil {
+		return err
+	}
+	if err := res.Check(); err != nil {
+		return err
+	}
+	fmt.Println("Multi-pilot: two-machine tag-affinity campaign (Comet cpu pilot + Stampede mpi pilot, one AppManager)")
+	fmt.Println(res.Table())
+	if out != nil {
+		*out = *res
+	}
+	return nil
+}
+
+// runStress1M runs the guarded 1M-task probe with allocation sampling.
+func runStress1M() (*stress1MMetric, error) {
+	fmt.Println("Stress: guarded 1M-task probe (16 waves on sim.stress64k)")
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res, err := workload.Stress1MProbe()
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	fmt.Println(res.Table())
+	w := res.Rows[0]
+	m := &stress1MMetric{
+		Stress100kPoint: w,
+		AllocsPerUnit:   float64(after.Mallocs-before.Mallocs) / float64(w.Tasks),
+		BytesPerUnit:    float64(after.TotalAlloc-before.TotalAlloc) / float64(w.Tasks),
+		PeakHeapMB:      float64(after.HeapAlloc) / (1 << 20),
+	}
+	fmt.Printf("1M probe: %.1fs wall, %.1f allocs/unit, %.1f B/unit, %.1f MB heap after run\n",
+		wall.Seconds(), m.AllocsPerUnit, m.BytesPerUnit, m.PeakHeapMB)
+	return m, nil
 }
 
 // runGraphTier prints the graph-API tier on its own: the mixed
@@ -217,17 +280,37 @@ type throughputMetric struct {
 	PeakHeapMB    float64 `json:"peak_heap_mb"`
 }
 
+// stress1MMetric is the guarded 1M probe's row plus its allocation
+// profile.
+type stress1MMetric struct {
+	workload.Stress100kPoint
+	AllocsPerUnit float64 `json:"allocs_per_unit"`
+	BytesPerUnit  float64 `json:"bytes_per_unit"`
+	PeakHeapMB    float64 `json:"peak_heap_mb"`
+}
+
+// multiPilotMetric is the multi-pilot tier's JSON section: campaign and
+// pipeline rows plus the per-pilot utilization columns.
+type multiPilotMetric struct {
+	Placement string                        `json:"placement"`
+	Rows      []workload.Stress100kMixedRow `json:"rows"`
+	Pilots    []workload.MultiPilotUtilRow  `json:"pilot_utilization"`
+}
+
 // benchMetrics is the schema of the BENCH_PR<N>.json trajectory files.
 type benchMetrics struct {
-	Generated       string                        `json:"generated"`
-	Notes           string                        `json:"notes"`
-	StressEngine    string                        `json:"stress_engine"`
-	Throughput      []throughputMetric            `json:"pilot_unit_throughput"`
-	StressEoP       []workload.StressEoPPoint     `json:"stress_eop"`
-	StressEE        []workload.StressEEPoint      `json:"stress_ee_weak"`
-	Stress100k      []workload.Stress100kPoint    `json:"stress_100k"`
-	Stress100kRef   []workload.Stress100kPoint    `json:"stress_100k_prof_ref"`
-	Stress100kMixed []workload.Stress100kMixedRow `json:"stress_100k_mixed"`
+	Generated         string                        `json:"generated"`
+	Notes             string                        `json:"notes"`
+	StressEngine      string                        `json:"stress_engine"`
+	Throughput        []throughputMetric            `json:"pilot_unit_throughput"`
+	StressEoP         []workload.StressEoPPoint     `json:"stress_eop"`
+	StressEE          []workload.StressEEPoint      `json:"stress_ee_weak"`
+	Stress100k        []workload.Stress100kPoint    `json:"stress_100k"`
+	Stress100kRef     []workload.Stress100kPoint    `json:"stress_100k_prof_ref"`
+	Stress100kMixed   []workload.Stress100kMixedRow `json:"stress_100k_mixed"`
+	Stress100kOversub []workload.Stress100kMixedRow `json:"stress_100k_oversub"`
+	MultiPilot        *multiPilotMetric             `json:"multipilot,omitempty"`
+	Stress1M          *stress1MMetric               `json:"stress_1m,omitempty"`
 }
 
 // metricsNotes documents how to read the numbers.
@@ -247,7 +330,13 @@ const metricsNotes = "wall-clock numbers from the machine that generated this fi
 	"around the measured runs (peak sampled per run, so it is a lower bound on the true " +
 	"high-water mark); stress rows run on stress_engine; stress_100k vs " +
 	"stress_100k_prof_ref is the columnar-vs-seed profiler A/B at 100k tasks; the " +
-	"seed-vs-PR comparison per PR is recorded in CHANGES.md"
+	"seed-vs-PR comparison per PR is recorded in CHANGES.md; stress_100k_oversub is the " +
+	"oversubscribed campaign (peak demand 1.375x the machine, stages span waves; gated by " +
+	"CheckOversub and TestStress100kOversubEngineParity); multipilot is the two-machine " +
+	"tag-affinity campaign on an entk.ResourceSet (pilot_utilization columns show the " +
+	"late-binding split; single-pilot sets are pinned bit-identical to the handle path by " +
+	"TestResourceSetReportParity); stress_1m is the guarded 1M-task probe " +
+	"(entk-bench -stress1m / BenchmarkStress1M behind ENTK_STRESS_1M=1)"
 
 // measureThroughput runs workload.PilotThroughputOn — the exact workload
 // BenchmarkPilotUnitThroughput times — `runs` times on the selected
@@ -301,7 +390,7 @@ func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, ex
 // runStress executes the stress tier, prints its tables, and (when
 // jsonPath is set) records the metrics file that tracks the perf
 // trajectory across PRs.
-func runStress(jsonPath string) error {
+func runStress(jsonPath string, with1M bool) error {
 	eop, err := workload.StressEoP(nil)
 	if err != nil {
 		return err
@@ -342,6 +431,28 @@ func runStress(jsonPath string) error {
 	fmt.Println("Stress: mixed 100k campaign, heterogeneous concurrent pipelines (graph API, one AppManager)")
 	fmt.Println(mixed.Table())
 
+	oversub, err := workload.Stress100kOversub(nil)
+	if err != nil {
+		return err
+	}
+	if err := oversub.CheckOversub(); err != nil {
+		return err
+	}
+	fmt.Println("Stress: oversubscribed campaign, peak demand 1.375x the machine (stages span waves)")
+	fmt.Println(oversub.Table())
+
+	var mp workload.MultiPilotResult
+	if err := runMultiPilot(&mp); err != nil {
+		return err
+	}
+
+	var probe *stress1MMetric
+	if with1M {
+		if probe, err = runStress1M(); err != nil {
+			return err
+		}
+	}
+
 	if jsonPath == "" {
 		return nil
 	}
@@ -362,15 +473,20 @@ func runStress(jsonPath string) error {
 		return err
 	}
 
+	mpRows := append(append([]workload.Stress100kMixedRow(nil), mp.Pipelines...), mp.Campaign)
+	mpUtil := append([]workload.MultiPilotUtilRow(nil), mp.Pilots...)
 	metrics := benchMetrics{
-		Generated:       time.Now().UTC().Format(time.RFC3339),
-		Notes:           metricsNotes,
-		StressEngine:    workload.DefaultEngine.String(),
-		StressEoP:       eop.Rows,
-		StressEE:        ee.Rows,
-		Stress100k:      s100k.Rows,
-		Stress100kRef:   s100kRef.Rows,
-		Stress100kMixed: append(append([]workload.Stress100kMixedRow(nil), mixed.Pipelines...), mixed.Campaign),
+		Generated:         time.Now().UTC().Format(time.RFC3339),
+		Notes:             metricsNotes,
+		StressEngine:      workload.DefaultEngine.String(),
+		StressEoP:         eop.Rows,
+		StressEE:          ee.Rows,
+		Stress100k:        s100k.Rows,
+		Stress100kRef:     s100kRef.Rows,
+		Stress100kMixed:   append(append([]workload.Stress100kMixedRow(nil), mixed.Pipelines...), mixed.Campaign),
+		Stress100kOversub: append(append([]workload.Stress100kMixedRow(nil), oversub.Pipelines...), oversub.Campaign),
+		MultiPilot:        &multiPilotMetric{Placement: mp.Placement, Rows: mpRows, Pilots: mpUtil},
+		Stress1M:          probe,
 	}
 	for _, eng := range []vclock.Engine{vclock.EngineHandoff, vclock.EngineRef} {
 		for _, rescan := range []bool{false, true} {

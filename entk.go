@@ -27,6 +27,25 @@
 //		h.Deallocate()
 //	})
 //
+// Resource binding is decoupled from the workload description — the
+// paper's core claim. A campaign written once against the graph API
+// runs unchanged on a single pilot (ResourceHandle, as above) or on an
+// entk.ResourceSet spanning several machines, with every task
+// late-bound to whichever pilot the placement policy selects at
+// dispatch time (round-robin, least-loaded-by-free-cores, or tag
+// affinity routing e.g. MPI-wide tasks to the wide-node machine):
+//
+//	set, err := entk.NewResourceSet([]entk.PilotSpec{
+//		{Resource: "xsede.comet", Cores: 48, Walltime: time.Hour},
+//		{Resource: "xsede.stampede", Cores: 64, Walltime: time.Hour, Tags: []string{"mpi"}},
+//	}, entk.Config{Clock: v})
+//	set.Placement = entk.PlaceTagAffinity(nil)
+//	// ... set.Allocate(); entk.NewAppManager(set).Run(pipelines...)
+//
+// The campaign report then carries per-pilot utilization columns next
+// to the per-pipeline TTC decompositions, and a shared submission
+// batcher coalesces the live pipelines' waves at the unit manager.
+//
 // The paper's execution patterns (EnsembleOfPipelines, EnsembleExchange,
 // SimulationAnalysisLoop, and the higher-order Composite) remain the
 // concise front door for the classic scenarios; they are now thin
@@ -55,7 +74,7 @@ import (
 )
 
 // Version identifies this release of the toolkit reproduction.
-const Version = "1.1.0"
+const Version = "1.2.0"
 
 // Re-exported user-facing types. The implementations live in
 // internal/core (the toolkit) and internal supporting packages.
@@ -64,8 +83,24 @@ type (
 	Kernel = core.Kernel
 	// Config carries toolkit configuration.
 	Config = core.Config
-	// ResourceHandle allocates resources and runs patterns.
+	// ResourceHandle allocates resources and runs patterns — the classic
+	// single-pilot binding, now a compatibility shim over a one-spec
+	// ResourceSet.
 	ResourceHandle = core.ResourceHandle
+	// ResourceSet acquires an ordered set of pilots on (possibly
+	// different) machines behind one session; campaigns late-bind each
+	// task to whichever pilot the placement policy selects.
+	ResourceSet = core.ResourceSet
+	// PilotSpec requests one pilot of a resource set.
+	PilotSpec = core.PilotSpec
+	// Binding is what AppManager acquires resources through: a
+	// *ResourceHandle or a *ResourceSet.
+	Binding = core.Binding
+	// PlacementPolicy late-binds each unit to a pilot of a set.
+	PlacementPolicy = pilot.PlacementPolicy
+	// PilotUtilization is one pilot's share of a campaign
+	// (CampaignReport.Pilots).
+	PilotUtilization = core.PilotUtilization
 
 	// Task is one node of the graph: a named kernel invocation.
 	Task = core.Task
@@ -189,8 +224,33 @@ func NewResourceHandle(resource string, cores int, walltime time.Duration, cfg C
 }
 
 // NewAppManager returns an application manager that executes pipelines
-// concurrently on the handle's allocation.
-func NewAppManager(h *ResourceHandle) *AppManager { return core.NewAppManager(h) }
+// concurrently on the binding's allocation — a *ResourceHandle (the
+// classic single-pilot form) or a *ResourceSet spanning several
+// machines.
+func NewAppManager(b Binding) *AppManager { return core.NewAppManager(b) }
+
+// NewResourceSet validates the pilot specs and prepares a multi-pilot
+// resource set; assign Placement on the returned set before Allocate to
+// select a late-binding policy (multi-pilot sets default to
+// round-robin over eligible pilots).
+func NewResourceSet(specs []PilotSpec, cfg Config) (*ResourceSet, error) {
+	return core.NewResourceSet(specs, cfg)
+}
+
+// Placement policies for multi-pilot resource sets (ResourceSet.Placement):
+// late binding of each unit to a pilot at dispatch time.
+
+// PlaceRoundRobin deals units to eligible pilots in set order.
+func PlaceRoundRobin() PlacementPolicy { return pilot.PlaceRoundRobin() }
+
+// PlaceLeastLoaded routes each unit to the eligible pilot with the most
+// free cores at dispatch time.
+func PlaceLeastLoaded() PlacementPolicy { return pilot.PlaceLeastLoaded() }
+
+// PlaceTagAffinity routes tagged tasks (Kernel.Tags) to pilots carrying
+// every one of their tags (PilotSpec.Tags), delegating the choice among
+// matches — and all untagged placement — to next (round-robin when nil).
+func PlaceTagAffinity(next PlacementPolicy) PlacementPolicy { return pilot.PlaceTagAffinity(next) }
 
 // NewKernelRegistry returns a registry pre-populated with the builtin
 // kernel plugins (md.amber, md.gromacs, ana.coco, ana.lsdmap, ...);

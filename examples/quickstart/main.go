@@ -4,7 +4,13 @@
 // (mkfile), stage 2 counts its characters (ccount) — built as explicit
 // entk.Pipeline values and executed concurrently by one AppManager on
 // an XSEDE Comet allocation. The program prints the campaign's TTC
-// decomposition and one pipeline's report.
+// decomposition and one pipeline's report, then runs the SAME
+// pipelines, unchanged, as a two-machine campaign on an
+// entk.ResourceSet — the paper's core claim (workload description
+// decoupled from resource acquisition) as a dozen lines: a second
+// pilot joins, a tag-affinity policy pins the tagged analysis
+// pipelines to it while untagged work late-binds across both machines,
+// and the campaign report grows per-pilot utilization columns.
 //
 // The same workload fits the classic pattern API in a few lines
 // (&entk.EnsembleOfPipelines{Pipelines: 16, Stages: 2, ...} through
@@ -15,22 +21,25 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"entk"
 )
 
-func main() {
-	v := entk.NewClock()
-
-	handle, err := entk.NewResourceHandle("xsede.comet", 16, time.Hour, entk.Config{Clock: v})
-	if err != nil {
-		log.Fatalf("resource handle: %v", err)
-	}
-
+// buildPipelines describes the workload once; both the single-pilot and
+// the two-machine run execute these same values. tagEvery > 0 tags
+// every n-th pipeline's kernels "analysis", the hook the two-machine
+// variant's tag-affinity placement routes by (untagged runs ignore
+// tags entirely).
+func buildPipelines(tagEvery int) []*entk.Pipeline {
 	pipelines := make([]*entk.Pipeline, 16)
 	for i := range pipelines {
 		file := fmt.Sprintf("file-%02d.dat", i+1)
+		var tags []string
+		if tagEvery > 0 && (i+1)%tagEvery == 0 {
+			tags = []string{"analysis"}
+		}
 		pipelines[i] = &entk.Pipeline{
 			Name: fmt.Sprintf("sample-%02d", i+1),
 			Stages: []*entk.Stage{
@@ -40,6 +49,7 @@ func main() {
 						Name:   "misc.mkfile",
 						Args:   []string{"of=" + file},
 						Params: map[string]float64{"size_mb": 10},
+						Tags:   tags,
 					},
 				}}},
 				{Name: "ccount", Tasks: []entk.Task{{
@@ -48,10 +58,21 @@ func main() {
 						Name:   "misc.ccount",
 						Args:   []string{file},
 						Params: map[string]float64{"size_mb": 10},
+						Tags:   tags,
 					},
 				}}},
 			},
 		}
+	}
+	return pipelines
+}
+
+func main() {
+	// --- Single-pilot campaign: one handle, one machine. ---
+	v := entk.NewClock()
+	handle, err := entk.NewResourceHandle("xsede.comet", 16, time.Hour, entk.Config{Clock: v})
+	if err != nil {
+		log.Fatalf("resource handle: %v", err)
 	}
 
 	var campaign *entk.CampaignReport
@@ -59,7 +80,7 @@ func main() {
 		if err = handle.Allocate(); err != nil {
 			return
 		}
-		campaign, err = entk.NewAppManager(handle).Run(pipelines...)
+		campaign, err = entk.NewAppManager(handle).Run(buildPipelines(0)...)
 		if derr := handle.Deallocate(); err == nil {
 			err = derr
 		}
@@ -72,4 +93,44 @@ func main() {
 	fmt.Printf("campaign: %d tasks in %.1fs simulated\n",
 		campaign.Campaign.Tasks, campaign.Campaign.TTC.Seconds())
 	fmt.Print(campaign.Pipelines[0])
+
+	// --- Two-machine campaign: the same pipelines, late-bound across a
+	// ResourceSet. Every 4th pipeline is tagged "analysis" and is
+	// guaranteed to land on the SuperMIC pilot; untagged work
+	// late-binds round-robin across both machines. ---
+	v2 := entk.NewClock()
+	set, err := entk.NewResourceSet([]entk.PilotSpec{
+		{Resource: "xsede.comet", Cores: 16, Walltime: time.Hour},
+		{Resource: "lsu.supermic", Cores: 8, Walltime: time.Hour, Tags: []string{"analysis"}},
+	}, entk.Config{Clock: v2})
+	if err != nil {
+		log.Fatalf("resource set: %v", err)
+	}
+	set.Placement = entk.PlaceTagAffinity(nil)
+
+	var twoSite *entk.CampaignReport
+	v2.Run(func() {
+		if err = set.Allocate(); err != nil {
+			return
+		}
+		twoSite, err = entk.NewAppManager(set).Run(buildPipelines(4)...)
+		if derr := set.Deallocate(); err == nil {
+			err = derr
+		}
+	})
+	if err != nil {
+		log.Fatalf("two-machine campaign: %v", err)
+	}
+
+	fmt.Println("\nquickstart: the same 16 pipelines across", twoSite.Campaign.Resource)
+	fmt.Printf("campaign: %d tasks in %.1fs simulated\n",
+		twoSite.Campaign.Tasks, twoSite.Campaign.TTC.Seconds())
+	for _, u := range twoSite.Pilots {
+		tags := strings.Join(u.Tags, ",")
+		if tags == "" {
+			tags = "-"
+		}
+		fmt.Printf("  pilot %d  %-14s tags=%-9s units=%3d  busy=%6.1fs  util=%.3f\n",
+			u.Pilot, u.Resource, tags, u.Units, u.CoreBusy.Seconds(), u.Utilization)
+	}
 }

@@ -79,7 +79,7 @@ func (c *Composite) validate() error {
 // member prefixes.
 func (ex *executor) runComposite(c *Composite) error {
 	for i, m := range c.Members {
-		sub := newExecutor(ex.h, m)
+		sub := newExecutor(ex.rs, m)
 		// Share the submission lock so pattern overhead accounting stays
 		// serialized across members.
 		sub.subLock = ex.subLock

@@ -5,44 +5,63 @@ import (
 	"fmt"
 
 	"entk/internal/pad"
+	"entk/internal/pilot"
 	"entk/internal/vclock"
 )
 
 // AppManager executes application-built pipelines — many, heterogeneous,
-// concurrent — on one resource handle (the session-level application
-// manager the paper's fixed patterns hide). Each pipeline submits its
-// bulk waves independently, so waves from different live pipelines
-// interleave at the unit manager and the pilot packs them onto one
-// allocation; per-pipeline accounting stays separate and the campaign
-// report aggregates it.
+// concurrent — on one resource binding (the session-level application
+// manager the paper's fixed patterns hide). The binding is either a
+// classic single-pilot ResourceHandle or a multi-pilot ResourceSet:
+// campaigns are written once against the graph API and late-bind to
+// whichever pilot of the set has capacity at dispatch time. Each
+// pipeline submits its bulk waves independently; the binding's shared
+// wave batcher coalesces waves from the live pipelines at the unit
+// manager, and per-pipeline accounting stays separate while the
+// campaign report aggregates it — including per-pilot utilization
+// columns for the campaign window.
 type AppManager struct {
-	h *ResourceHandle
+	b  Binding
+	rs *ResourceSet
 }
 
-// NewAppManager returns an application manager bound to the handle. The
-// handle must be allocated before Run (Allocate, or via Execute-style
-// sequencing by the caller).
-func NewAppManager(h *ResourceHandle) *AppManager {
-	return &AppManager{h: h}
+// NewAppManager returns an application manager bound to the binding —
+// a *ResourceHandle (the classic single-pilot form) or a *ResourceSet.
+// The binding must be allocated before Run (Allocate, or via
+// Execute-style sequencing by the caller).
+func NewAppManager(b Binding) *AppManager {
+	return &AppManager{b: b, rs: b.bind()}
 }
 
-// Handle returns the underlying resource handle.
-func (am *AppManager) Handle() *ResourceHandle { return am.h }
+// Handle returns the underlying resource handle when the manager was
+// built over one, nil for a direct multi-pilot set.
+func (am *AppManager) Handle() *ResourceHandle {
+	h, _ := am.b.(*ResourceHandle)
+	return h
+}
+
+// Binding returns the resource binding the manager runs on.
+func (am *AppManager) Binding() Binding { return am.b }
 
 // CampaignReport is the outcome of one AppManager.Run: the aggregate
-// campaign view plus one report per pipeline.
+// campaign view plus one report per pipeline and one utilization row
+// per pilot.
 type CampaignReport struct {
 	// Campaign aggregates the whole run: TTC is the campaign span (first
 	// submission to last completion), task/retry/overhead counters are
 	// sums over pipelines, and each pipeline's phases appear prefixed
 	// with "<pipeline>.". CoreOverhead, QueueWait, and AgentStartup are
-	// handle-level quantities and appear here, not per pipeline.
+	// binding-level quantities and appear here, not per pipeline.
 	Campaign *Report
 	// Pipelines holds per-pipeline reports in submission order. Each
 	// TTC spans that pipeline's own first-submission-to-completion
 	// window; pipelines run concurrently, so these overlap and their
 	// sum exceeds the campaign TTC.
 	Pipelines []*Report
+	// Pilots holds one utilization row per pilot of the binding, in set
+	// order — how the late-bound campaign actually spread over the
+	// machines.
+	Pilots []PilotUtilization
 }
 
 // Run executes the pipelines concurrently on the allocated resources
@@ -50,9 +69,9 @@ type CampaignReport struct {
 // cancels its siblings; the returned error joins every pipeline
 // failure. Like ResourceHandle.Run it must be called from a registered
 // clock process, and multiple campaigns (or campaigns and patterns)
-// may run sequentially on one handle.
+// may run sequentially on one binding.
 func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
-	h := am.h
+	rs := am.rs
 	if len(pls) == 0 {
 		return nil, fmt.Errorf("core: campaign with no pipelines")
 	}
@@ -66,18 +85,24 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 			names[i] = "p" + pad.Int(i+1, 1)
 		}
 	}
-	h.mu.Lock()
-	ok := h.allocated
-	h.mu.Unlock()
+	rs.mu.Lock()
+	ok := rs.allocated
+	rs.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: campaign Run before Allocate")
 	}
-	if err := h.waitActive(); err != nil {
+	if err := rs.waitActive(); err != nil {
 		return nil, err
 	}
 
-	v := h.cfg.Clock
-	h.sess.Prof.RecordID(h.coreEnt, h.evRunStart)
+	// Per-pilot utilization snapshots bracketing the campaign window.
+	before := make([]pilot.UtilSnapshot, len(rs.pilots))
+	for i, p := range rs.pilots {
+		before[i] = p.Util()
+	}
+
+	v := rs.cfg.Clock
+	rs.sess.Prof.RecordID(rs.coreEnt, rs.evRunStart)
 	t0 := v.Now()
 	reports := make([]*Report, len(pls))
 	errs := make([]error, len(pls))
@@ -88,7 +113,7 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 		wg.Add(1)
 		v.Go(func() {
 			defer wg.Done()
-			ex := newNamedExecutor(h, names[i])
+			ex := newNamedExecutor(rs, names[i])
 			ex.planned = pl.TaskCount()
 			pt0 := v.Now()
 			err := ex.runPipelineSet([]*Pipeline{pl})
@@ -100,12 +125,12 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 	}
 	wg.Wait()
 	ttc := v.Now() - t0
-	h.sess.Prof.RecordID(h.coreEnt, h.evRunStop)
+	rs.sess.Prof.RecordID(rs.coreEnt, rs.evRunStop)
 
 	agg := &Report{
 		Pattern:  "campaign",
-		Resource: h.Resource,
-		Cores:    h.Cores,
+		Resource: rs.BindingLabel(),
+		Cores:    rs.TotalCores(),
 		TTC:      ttc,
 	}
 	phases := newPhaseAccumulator()
@@ -121,10 +146,27 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 		}
 	}
 	agg.Phases = phases.stats()
-	h.mu.Lock()
-	agg.CoreOverhead = h.allocCtl + h.deallocCtl
-	agg.QueueWait = h.queueWait
-	agg.AgentStartup = h.agentStartup
-	h.mu.Unlock()
-	return &CampaignReport{Campaign: agg, Pipelines: reports}, errors.Join(joined...)
+	rs.mu.Lock()
+	agg.CoreOverhead = rs.allocCtl + rs.deallocCtl
+	agg.QueueWait = rs.queueWait
+	agg.AgentStartup = rs.agentStartup
+	rs.mu.Unlock()
+
+	utils := make([]PilotUtilization, len(rs.pilots))
+	for i, p := range rs.pilots {
+		d := p.Util().Sub(before[i])
+		u := PilotUtilization{
+			Pilot:    p.ID,
+			Resource: p.Desc.Resource,
+			Cores:    p.Desc.Cores,
+			Tags:     p.Desc.Tags,
+			Units:    d.Units,
+			CoreBusy: d.CoreBusy,
+		}
+		if ttc > 0 && p.Desc.Cores > 0 {
+			u.Utilization = d.CoreBusy.Seconds() / (float64(p.Desc.Cores) * ttc.Seconds())
+		}
+		utils[i] = u
+	}
+	return &CampaignReport{Campaign: agg, Pipelines: reports, Pilots: utils}, errors.Join(joined...)
 }

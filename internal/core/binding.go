@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"entk/internal/pilot"
+	"entk/internal/profile"
+)
+
+// This file is the resource-binding layer: the paper's core claim is
+// that decoupling workload description from resource acquisition lets
+// one ensemble application run unchanged across heterogeneous HPC
+// resources (Section III-B3), and the Binding abstraction is where that
+// decoupling lives. A ResourceSet holds an ordered set of pilots — on
+// one machine or several — behind one session, one unit manager, and
+// one shared submission batcher; every executor (pattern runs and
+// AppManager campaigns alike) runs against a set, and a classic
+// ResourceHandle is now a compatibility shim over a single-pilot set
+// (handle.go). Placement of each unit onto a pilot is late-bound at
+// dispatch time through a pluggable pilot.PlacementPolicy, so a
+// campaign's tasks drain to whichever machine has capacity — or, with
+// tag affinity, to the machine provisioned for them.
+
+// PilotSpec requests one pilot of a resource set.
+type PilotSpec struct {
+	// Resource is the machine label, e.g. "xsede.comet".
+	Resource string
+	// Cores is the pilot size on that machine.
+	Cores int
+	// Walltime bounds the allocation.
+	Walltime time.Duration
+	// Queue and Project pass through to the machine's batch system.
+	Queue   string
+	Project string
+	// Tags label the pilot for tag-affinity placement (matched against
+	// Kernel.Tags), e.g. "mpi" on the wide-node machine.
+	Tags []string
+}
+
+// validate rejects malformed specs with the handle's error vocabulary.
+func (s *PilotSpec) validate() error {
+	switch {
+	case s.Resource == "":
+		return fmt.Errorf("core: pilot spec needs a resource")
+	case s.Cores < 1:
+		return fmt.Errorf("core: pilot spec needs at least one core")
+	case s.Walltime <= 0:
+		return fmt.Errorf("core: pilot spec needs a positive walltime")
+	}
+	return nil
+}
+
+// Binding is what executors acquire resources through: either a classic
+// single-pilot ResourceHandle (the compatibility shim) or a multi-pilot
+// ResourceSet. AppManager accepts any Binding; the interface is sealed
+// to the core implementations, which share one runtime underneath.
+type Binding interface {
+	// BindingLabel names the binding in reports: the machine label for
+	// a single-pilot binding, the joined labels for a set.
+	BindingLabel() string
+	// TotalCores is the summed pilot size of the binding.
+	TotalCores() int
+	// bind exposes the shared runtime (seals the interface).
+	bind() *ResourceSet
+}
+
+// ResourceSet acquires an ordered set of pilots — possibly on different
+// machines — and runs patterns and campaigns on them: Allocate submits
+// every pilot, Run/AppManager execute work with units late-bound to
+// pilots per the Placement policy, Deallocate releases everything. A
+// single-spec set behaves bit-identically to a ResourceHandle (the
+// handle is implemented on top of it).
+type ResourceSet struct {
+	// Specs are the requested pilots, in set order.
+	Specs []PilotSpec
+	// Placement selects the unit-to-pilot late-binding policy. Nil
+	// keeps the legacy per-unit scheduler (RuntimeConfig.Scheduler) for
+	// single-pilot sets — the seed code path — and defaults to
+	// round-robin over structurally eligible pilots for multi-pilot
+	// sets. Set it before Allocate.
+	Placement pilot.PlacementPolicy
+
+	cfg    Config
+	sess   *pilot.Session
+	pm     *pilot.PilotManager
+	um     *pilot.UnitManager
+	batch  *pilot.WaveBatcher
+	pilots []*pilot.ComputePilot
+
+	// Core-layer profiler ids, interned once at Allocate: the toolkit's
+	// own control-plane phases record onto the "core" entity so the TTC
+	// decomposition's constant overhead is reconstructible from events.
+	coreEnt                        profile.EntityID
+	evBootstrapDone, evPilotSubmit profile.NameID
+	evRunStart, evRunStop          profile.NameID
+	evDeallocStart, evDeallocStop  profile.NameID
+
+	mu           sync.Mutex
+	allocated    bool
+	allocCtl     time.Duration // control-plane time spent in Allocate
+	deallocCtl   time.Duration // control-plane time spent in Deallocate
+	queueWait    time.Duration
+	agentStartup time.Duration
+}
+
+// NewResourceSet validates the specs and prepares a set. Placement may
+// be assigned on the returned set before Allocate.
+func NewResourceSet(specs []PilotSpec, cfg Config) (*ResourceSet, error) {
+	full, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: resource set needs at least one pilot spec")
+	}
+	for i := range specs {
+		if err := specs[i].validate(); err != nil {
+			return nil, fmt.Errorf("core: pilot spec %d: %w", i+1, err)
+		}
+	}
+	return &ResourceSet{
+		Specs: append([]PilotSpec(nil), specs...),
+		cfg:   full,
+	}, nil
+}
+
+// BindingLabel implements Binding: the single machine label, or the
+// spec labels joined with "+" in set order.
+func (rs *ResourceSet) BindingLabel() string {
+	if len(rs.Specs) == 1 {
+		return rs.Specs[0].Resource
+	}
+	names := make([]string, len(rs.Specs))
+	for i, s := range rs.Specs {
+		names[i] = s.Resource
+	}
+	return strings.Join(names, "+")
+}
+
+// TotalCores implements Binding: the summed pilot size.
+func (rs *ResourceSet) TotalCores() int {
+	total := 0
+	for _, s := range rs.Specs {
+		total += s.Cores
+	}
+	return total
+}
+
+func (rs *ResourceSet) bind() *ResourceSet { return rs }
+
+// Session exposes the underlying runtime session (profiling, tests).
+func (rs *ResourceSet) Session() *pilot.Session { return rs.sess }
+
+// Pilots returns the allocated pilots in set order, nil before
+// Allocate.
+func (rs *ResourceSet) Pilots() []*pilot.ComputePilot {
+	return append([]*pilot.ComputePilot(nil), rs.pilots...)
+}
+
+// Batcher exposes the set's shared submission batcher (tests).
+func (rs *ResourceSet) Batcher() *pilot.WaveBatcher { return rs.batch }
+
+// ControlOverhead returns the toolkit's control-plane time so far
+// (Allocate plus any completed Deallocate) — what Execute patches into
+// Report.CoreOverhead after deallocation. Campaign runners that
+// sequence Allocate / AppManager.Run / Deallocate themselves use it to
+// account the dealloc phase like the pattern path does.
+func (rs *ResourceSet) ControlOverhead() time.Duration {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.allocCtl + rs.deallocCtl
+}
+
+// Allocate initialises the toolkit and submits every pilot's resource
+// request, in set order. It returns once the requests are submitted
+// (not when they become active); Run waits for activation. The time
+// spent here is control-plane work and counts toward the core
+// overhead. A submission failure cancels the pilots already submitted
+// and leaves the set unallocated.
+func (rs *ResourceSet) Allocate() error {
+	rs.mu.Lock()
+	if rs.allocated {
+		rs.mu.Unlock()
+		return fmt.Errorf("core: resource set already allocated")
+	}
+	rs.allocated = true
+	rs.mu.Unlock()
+
+	v := rs.cfg.Clock
+	t0 := v.Now()
+	v.Sleep(rs.cfg.InitOverhead) // toolkit bootstrap
+	rs.sess = pilot.NewSession(v, rs.cfg.Cost, rs.cfg.Runtime)
+	prof := rs.sess.Prof
+	rs.coreEnt = prof.Intern("core")
+	rs.evBootstrapDone = prof.InternName("bootstrap_done")
+	rs.evPilotSubmit = prof.InternName("pilot_submitted")
+	rs.evRunStart = prof.InternName("run_start")
+	rs.evRunStop = prof.InternName("run_stop")
+	rs.evDeallocStart = prof.InternName("dealloc_start")
+	rs.evDeallocStop = prof.InternName("dealloc_stop")
+	prof.RecordID(rs.coreEnt, rs.evBootstrapDone)
+	rs.pm = pilot.NewPilotManager(rs.sess)
+	rs.um = pilot.NewUnitManager(rs.sess)
+	if rs.Placement != nil {
+		rs.um.SetPlacement(rs.Placement)
+	} else if len(rs.Specs) > 1 {
+		// Multi-pilot sets need eligibility-aware placement (the legacy
+		// per-unit scheduler would route units to pilots that must
+		// reject them); single-pilot sets keep the seed path bit for
+		// bit.
+		rs.um.SetPlacement(pilot.PlaceRoundRobin())
+	}
+	rs.batch = pilot.NewWaveBatcher(rs.um)
+	for _, spec := range rs.Specs {
+		p, err := rs.pm.Submit(pilot.PilotDescription{
+			Resource: spec.Resource,
+			Cores:    spec.Cores,
+			Walltime: spec.Walltime,
+			Queue:    spec.Queue,
+			Project:  spec.Project,
+			Tags:     spec.Tags,
+		})
+		if err != nil {
+			// Unwind: cancel and await the pilots already submitted,
+			// then drop the half-built runtime so a corrected retry
+			// starts from a clean session.
+			for _, q := range rs.pilots {
+				q.Cancel()
+			}
+			for _, q := range rs.pilots {
+				q.WaitFinal()
+			}
+			rs.pilots = nil
+			rs.sess, rs.pm, rs.um, rs.batch = nil, nil, nil, nil
+			rs.mu.Lock()
+			rs.allocated = false
+			rs.mu.Unlock()
+			return err
+		}
+		rs.pilots = append(rs.pilots, p)
+		rs.um.AddPilot(p)
+		prof.RecordID(rs.coreEnt, rs.evPilotSubmit)
+	}
+	rs.mu.Lock()
+	rs.allocCtl = v.Now() - t0
+	rs.mu.Unlock()
+	return nil
+}
+
+// waitActive blocks until every pilot of the set accepts units,
+// recording the queue wait (which is resource wait, not toolkit
+// overhead). With several machines the reported queue wait is the
+// slowest pilot's — work cannot start on the full set before then, and
+// that is the bound the campaign TTC is measured against.
+func (rs *ResourceSet) waitActive() error {
+	if len(rs.pilots) == 0 {
+		return fmt.Errorf("core: resource set not allocated")
+	}
+	v := rs.cfg.Clock
+	t0 := v.Now()
+	var queueWait time.Duration
+	for _, p := range rs.pilots {
+		p.WaitActive()
+		if p.State() != pilot.PilotActive {
+			return fmt.Errorf("core: pilot failed before activation (%v)", p.State())
+		}
+		if qw := p.QueueWait(); qw > queueWait {
+			queueWait = qw
+		}
+	}
+	rs.mu.Lock()
+	rs.queueWait = queueWait
+	rs.agentStartup = v.Now() - t0 - queueWait
+	if rs.agentStartup < 0 {
+		rs.agentStartup = 0
+	}
+	rs.mu.Unlock()
+	return nil
+}
+
+// Run executes one pattern on the allocated set and returns its report.
+// Multiple patterns may run sequentially on one set.
+func (rs *ResourceSet) Run(p Pattern) (*Report, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil pattern")
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rs.mu.Lock()
+	ok := rs.allocated
+	rs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: Run before Allocate")
+	}
+	if err := rs.waitActive(); err != nil {
+		return nil, err
+	}
+
+	ex := newExecutor(rs, p)
+	v := rs.cfg.Clock
+	rs.sess.Prof.RecordID(rs.coreEnt, rs.evRunStart)
+	t0 := v.Now()
+	err := ex.run()
+	ttc := v.Now() - t0
+	rs.sess.Prof.RecordID(rs.coreEnt, rs.evRunStop)
+
+	rep := ex.report()
+	rep.TTC = ttc
+	rs.mu.Lock()
+	rep.CoreOverhead = rs.allocCtl + rs.deallocCtl
+	rep.QueueWait = rs.queueWait
+	rep.AgentStartup = rs.agentStartup
+	rs.mu.Unlock()
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// Deallocate cancels every pilot and releases the session. Its control
+// time joins the core overhead of subsequently produced reports.
+func (rs *ResourceSet) Deallocate() error {
+	rs.mu.Lock()
+	if !rs.allocated {
+		rs.mu.Unlock()
+		return fmt.Errorf("core: Deallocate before Allocate")
+	}
+	rs.mu.Unlock()
+	v := rs.cfg.Clock
+	rs.sess.Prof.RecordID(rs.coreEnt, rs.evDeallocStart)
+	t0 := v.Now()
+	for _, p := range rs.pilots {
+		p.Cancel()
+	}
+	for _, p := range rs.pilots {
+		p.WaitFinal()
+	}
+	rs.sess.Prof.RecordID(rs.coreEnt, rs.evDeallocStop)
+	rs.mu.Lock()
+	rs.deallocCtl = v.Now() - t0
+	rs.mu.Unlock()
+	return nil
+}
+
+// Execute allocates, runs the pattern, and deallocates, returning a
+// report whose core overhead includes both control phases.
+func (rs *ResourceSet) Execute(p Pattern) (*Report, error) {
+	if err := rs.Allocate(); err != nil {
+		return nil, err
+	}
+	rep, runErr := rs.Run(p)
+	if err := rs.Deallocate(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if rep != nil {
+		rs.mu.Lock()
+		rep.CoreOverhead = rs.allocCtl + rs.deallocCtl
+		rs.mu.Unlock()
+	}
+	return rep, runErr
+}

@@ -49,11 +49,11 @@ func eeTaskName(cycle, replica int) string {
 // see lower.go) and the seed pattern executor kept below as the
 // ExecRef reference path.
 type executor struct {
-	h    *ResourceHandle
-	pat  Pattern // nil for AppManager pipeline runs
-	name string  // report label: pattern name or pipeline name
-	v    *vclock.Virtual
-	um   *pilot.UnitManager
+	rs    *ResourceSet
+	pat   Pattern // nil for AppManager pipeline runs
+	name  string  // report label: pattern name or pipeline name
+	v     *vclock.Virtual
+	batch *pilot.WaveBatcher
 
 	// subLock serializes task submission; the time spent holding it is
 	// the pattern overhead.
@@ -82,8 +82,8 @@ type executor struct {
 	deferForce map[string]bool
 }
 
-func newExecutor(h *ResourceHandle, p Pattern) *executor {
-	ex := newNamedExecutor(h, p.PatternName())
+func newExecutor(rs *ResourceSet, p Pattern) *executor {
+	ex := newNamedExecutor(rs, p.PatternName())
 	ex.pat = p
 	ex.planned = p.TaskCount()
 	return ex
@@ -91,18 +91,18 @@ func newExecutor(h *ResourceHandle, p Pattern) *executor {
 
 // newNamedExecutor builds an executor without a pattern — the AppManager
 // uses it to run application-built pipelines directly.
-func newNamedExecutor(h *ResourceHandle, name string) *executor {
+func newNamedExecutor(rs *ResourceSet, name string) *executor {
 	ex := &executor{
-		h:          h,
+		rs:         rs,
 		name:       name,
-		v:          h.cfg.Clock,
-		um:         h.um,
-		subLock:    vclock.NewSemaphore(h.cfg.Clock, "core submit", 1),
+		v:          rs.cfg.Clock,
+		batch:      rs.batch,
+		subLock:    vclock.NewSemaphore(rs.cfg.Clock, "core submit", 1),
 		phases:     newPhaseAccumulator(),
 		deferUnits: make(map[string][]*pilot.ComputeUnit),
 		deferForce: make(map[string]bool),
 	}
-	ex.prof = h.sess.Prof
+	ex.prof = rs.sess.Prof
 	ex.patEnt = ex.prof.Intern("pattern")
 	ex.evSubStart = ex.prof.InternName("submit_start")
 	ex.evSubStop = ex.prof.InternName("submit_stop")
@@ -115,8 +115,8 @@ func (ex *executor) report() *Report {
 	defer ex.mu.Unlock()
 	return &Report{
 		Pattern:         ex.name,
-		Resource:        ex.h.Resource,
-		Cores:           ex.h.Cores,
+		Resource:        ex.rs.BindingLabel(),
+		Cores:           ex.rs.TotalCores(),
 		PlannedTasks:    ex.planned,
 		Tasks:           ex.tasks,
 		Retries:         ex.retries,
@@ -128,7 +128,7 @@ func (ex *executor) report() *Report {
 // run executes the pattern on the configured path: the graph executor
 // (default) or the seed reference executor (Config.Exec = ExecRef).
 func (ex *executor) run() error {
-	if ex.h.cfg.Exec == ExecRef {
+	if ex.rs.cfg.Exec == ExecRef {
 		return ex.runRef()
 	}
 	return ex.runGraph()
@@ -175,9 +175,11 @@ func (ex *executor) runGraph() error {
 
 // submitTracked validates kernels, binds them to unit descriptions, and
 // submits them under the submission lock, charging the elapsed time to
-// the pattern overhead.
+// the pattern overhead. Submission goes through the binding's shared
+// wave batcher, so waves from concurrent executors (one per campaign
+// pipeline) coalesce at the unit manager.
 func (ex *executor) submitTracked(specs []taskSpec, attempts []int) ([]*pilot.ComputeUnit, error) {
-	return ex.submitVia(specs, attempts, ex.um.Submit)
+	return ex.submitVia(specs, attempts, ex.batch.Submit)
 }
 
 // submitStreamedTracked is submitTracked over the unit manager's
@@ -186,15 +188,24 @@ func (ex *executor) submitTracked(specs []taskSpec, attempts []int) ([]*pilot.Co
 // cost. It reproduces the event timing of N sequential single-unit
 // submissions while paying the client bookkeeping only once.
 func (ex *executor) submitStreamedTracked(specs []taskSpec, attempts []int) ([]*pilot.ComputeUnit, error) {
-	return ex.submitVia(specs, attempts, ex.um.SubmitStreamed)
+	return ex.submitVia(specs, attempts, ex.batch.SubmitStreamed)
 }
 
 func (ex *executor) submitVia(specs []taskSpec, attempts []int,
 	submit func([]pilot.UnitDescription) ([]*pilot.ComputeUnit, error)) ([]*pilot.ComputeUnit, error) {
 	descs := make([]pilot.UnitDescription, len(specs))
+	// Homogeneous waves share one kernel instance (every stress tier and
+	// most lowered stages); validate each distinct kernel once. A nil
+	// kernel must never match the memo's zero value — Validate is what
+	// turns it into the "core: nil kernel" error instead of a panic in
+	// bind.
+	var lastOK *Kernel
 	for i, s := range specs {
-		if err := s.k.Validate(); err != nil {
-			return nil, err
+		if s.k == nil || s.k != lastOK {
+			if err := s.k.Validate(); err != nil {
+				return nil, err
+			}
+			lastOK = s.k
 		}
 		descs[i] = s.k.bind(s.name, attempts[i])
 	}
@@ -235,18 +246,23 @@ func (ex *executor) runTasksVia(specs []taskSpec,
 	ex.mu.Unlock()
 
 	result := make([]*pilot.ComputeUnit, len(specs))
-	pending := make([]int, len(specs)) // indices into specs
 	attempts := make([]int, len(specs))
-	for i := range specs {
-		pending[i] = i
-	}
+	var pending []int // indices into specs; unused on the first wave
 	var failures []string
-	for len(pending) > 0 {
-		batch := make([]taskSpec, len(pending))
-		att := make([]int, len(pending))
-		for i, idx := range pending {
-			batch[i] = specs[idx]
-			att[i] = attempts[idx]
+	first := true
+	for first || len(pending) > 0 {
+		// The first wave is the whole spec set: submit it as built, no
+		// per-wave rematerialisation (the ~5-10% graph-path overhead on
+		// big streamed waves). Only retry waves — a handful of indices —
+		// gather into fresh slices.
+		batch, att := specs, attempts
+		if !first {
+			batch = make([]taskSpec, len(pending))
+			att = make([]int, len(pending))
+			for i, idx := range pending {
+				batch[i] = specs[idx]
+				att[i] = attempts[idx]
+			}
 		}
 		units, err := submit(batch, att)
 		if err != nil {
@@ -254,14 +270,17 @@ func (ex *executor) runTasksVia(specs []taskSpec,
 		}
 		var next []int
 		for i, u := range units {
-			idx := pending[i]
+			idx := i
+			if !first {
+				idx = pending[i]
+			}
 			switch u.WaitFinal() {
 			case pilot.UnitDone:
 				result[idx] = u
 			case pilot.UnitCanceled:
 				failures = append(failures, fmt.Sprintf("%s: canceled", specs[idx].name))
 			default: // failed
-				budget := specs[idx].k.retries(ex.h.cfg.MaxRetries)
+				budget := specs[idx].k.retries(ex.rs.cfg.MaxRetries)
 				if attempts[idx] < budget {
 					attempts[idx]++
 					ex.mu.Lock()
@@ -274,6 +293,7 @@ func (ex *executor) runTasksVia(specs []taskSpec,
 			}
 		}
 		pending = next
+		first = false
 	}
 	if len(failures) > 0 {
 		return result, &PatternError{Pattern: ex.name, Failed: failures}

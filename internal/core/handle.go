@@ -7,7 +7,6 @@ import (
 
 	"entk/internal/kernels"
 	"entk/internal/pilot"
-	"entk/internal/profile"
 	"entk/internal/vclock"
 )
 
@@ -34,9 +33,9 @@ type Config struct {
 }
 
 // defaultCost lazily builds the shared builtin kernel registry used by
-// every handle that does not bring its own cost model. The registry is
-// concurrency-safe and handles only read from it, so sharing one
-// instance avoids rebuilding the builtin table per handle.
+// every binding that does not bring its own cost model. The registry is
+// concurrency-safe and bindings only read from it, so sharing one
+// instance avoids rebuilding the builtin table per binding.
 var defaultCost = sync.OnceValue(func() pilot.CostModel { return kernels.NewRegistry() })
 
 // withDefaults fills unset fields.
@@ -61,6 +60,13 @@ func (c Config) withDefaults() (Config, error) {
 // III-B3): Allocate submits the pilot, Run executes a pattern, Deallocate
 // releases the allocation. Execute chains all three and produces the full
 // TTC report.
+//
+// Since the resource-binding redesign the handle is a compatibility
+// shim over a single-pilot ResourceSet (binding.go): the set carries
+// the session, the unit manager, and the shared submission batcher,
+// and the single-pilot path is bit-identical to the seed handle
+// (gated by TestResourceSetReportParity). Multi-machine campaigns use
+// a ResourceSet directly.
 type ResourceHandle struct {
 	// Resource is the machine label, e.g. "xsede.comet".
 	Resource string
@@ -72,26 +78,7 @@ type ResourceHandle struct {
 	Queue   string
 	Project string
 
-	cfg  Config
-	sess *pilot.Session
-	pm   *pilot.PilotManager
-	um   *pilot.UnitManager
-	p    *pilot.ComputePilot
-
-	// Core-layer profiler ids, interned once at Allocate: the toolkit's
-	// own control-plane phases record onto the "core" entity so the TTC
-	// decomposition's constant overhead is reconstructible from events.
-	coreEnt                        profile.EntityID
-	evBootstrapDone, evPilotSubmit profile.NameID
-	evRunStart, evRunStop          profile.NameID
-	evDeallocStart, evDeallocStop  profile.NameID
-
-	mu           sync.Mutex
-	allocated    bool
-	allocCtl     time.Duration // control-plane time spent in Allocate
-	deallocCtl   time.Duration // control-plane time spent in Deallocate
-	queueWait    time.Duration
-	agentStartup time.Duration
+	rs *ResourceSet
 }
 
 // NewResourceHandle validates the request and prepares a handle.
@@ -109,181 +96,72 @@ func NewResourceHandle(resource string, cores int, walltime time.Duration, cfg C
 	if walltime <= 0 {
 		return nil, fmt.Errorf("core: resource handle needs a positive walltime")
 	}
-	return &ResourceHandle{
+	h := &ResourceHandle{
 		Resource: resource,
 		Cores:    cores,
 		Walltime: walltime,
-		cfg:      full,
-	}, nil
+	}
+	h.rs = &ResourceSet{
+		Specs: []PilotSpec{{Resource: resource, Cores: cores, Walltime: walltime}},
+		cfg:   full,
+	}
+	return h, nil
 }
 
+// BindingLabel implements Binding.
+func (h *ResourceHandle) BindingLabel() string { return h.Resource }
+
+// TotalCores implements Binding.
+func (h *ResourceHandle) TotalCores() int { return h.Cores }
+
+// bind exposes the underlying single-pilot set.
+func (h *ResourceHandle) bind() *ResourceSet { return h.rs }
+
 // Session exposes the underlying runtime session (profiling, tests).
-func (h *ResourceHandle) Session() *pilot.Session { return h.sess }
+func (h *ResourceHandle) Session() *pilot.Session { return h.rs.Session() }
 
 // Pilot exposes the allocated pilot, nil before Allocate.
-func (h *ResourceHandle) Pilot() *pilot.ComputePilot { return h.p }
+func (h *ResourceHandle) Pilot() *pilot.ComputePilot {
+	if len(h.rs.pilots) == 0 {
+		return nil
+	}
+	return h.rs.pilots[0]
+}
 
 // ControlOverhead returns the toolkit's control-plane time so far
 // (Allocate plus any completed Deallocate) — what Execute patches into
 // Report.CoreOverhead after deallocation. Campaign runners that
 // sequence Allocate / AppManager.Run / Deallocate themselves use it to
 // account the dealloc phase like the pattern path does.
-func (h *ResourceHandle) ControlOverhead() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.allocCtl + h.deallocCtl
-}
+func (h *ResourceHandle) ControlOverhead() time.Duration { return h.rs.ControlOverhead() }
 
 // Allocate initialises the toolkit and submits the resource request. It
 // returns once the request is submitted (not when it becomes active);
 // Run waits for activation. The time spent here is control-plane work and
 // counts toward the core overhead.
 func (h *ResourceHandle) Allocate() error {
-	h.mu.Lock()
-	if h.allocated {
-		h.mu.Unlock()
-		return fmt.Errorf("core: resource handle already allocated")
-	}
-	h.allocated = true
-	h.mu.Unlock()
-
-	v := h.cfg.Clock
-	t0 := v.Now()
-	v.Sleep(h.cfg.InitOverhead) // toolkit bootstrap
-	h.sess = pilot.NewSession(v, h.cfg.Cost, h.cfg.Runtime)
-	prof := h.sess.Prof
-	h.coreEnt = prof.Intern("core")
-	h.evBootstrapDone = prof.InternName("bootstrap_done")
-	h.evPilotSubmit = prof.InternName("pilot_submitted")
-	h.evRunStart = prof.InternName("run_start")
-	h.evRunStop = prof.InternName("run_stop")
-	h.evDeallocStart = prof.InternName("dealloc_start")
-	h.evDeallocStop = prof.InternName("dealloc_stop")
-	prof.RecordID(h.coreEnt, h.evBootstrapDone)
-	h.pm = pilot.NewPilotManager(h.sess)
-	h.um = pilot.NewUnitManager(h.sess)
-	p, err := h.pm.Submit(pilot.PilotDescription{
+	// The public fields may have been adjusted after construction
+	// (Queue, Project); sync them into the spec late, like the seed
+	// handle read them at Allocate.
+	h.rs.Specs[0] = PilotSpec{
 		Resource: h.Resource,
 		Cores:    h.Cores,
 		Walltime: h.Walltime,
 		Queue:    h.Queue,
 		Project:  h.Project,
-	})
-	if err != nil {
-		h.mu.Lock()
-		h.allocated = false
-		h.mu.Unlock()
-		return err
 	}
-	h.p = p
-	h.um.AddPilot(p)
-	prof.RecordID(h.coreEnt, h.evPilotSubmit)
-	h.mu.Lock()
-	h.allocCtl = v.Now() - t0
-	h.mu.Unlock()
-	return nil
-}
-
-// waitActive blocks until the pilot accepts units, recording the queue
-// wait (which is resource wait, not toolkit overhead).
-func (h *ResourceHandle) waitActive() error {
-	if h.p == nil {
-		return fmt.Errorf("core: resource handle not allocated")
-	}
-	v := h.cfg.Clock
-	t0 := v.Now()
-	h.p.WaitActive()
-	if h.p.State() != pilot.PilotActive {
-		return fmt.Errorf("core: pilot failed before activation (%v)", h.p.State())
-	}
-	h.mu.Lock()
-	h.queueWait = h.p.QueueWait()
-	h.agentStartup = v.Now() - t0 - h.queueWait
-	if h.agentStartup < 0 {
-		h.agentStartup = 0
-	}
-	h.mu.Unlock()
-	return nil
+	return h.rs.Allocate()
 }
 
 // Run executes one pattern on the allocated resources and returns its
 // report. Multiple patterns may run sequentially on one handle.
-func (h *ResourceHandle) Run(p Pattern) (*Report, error) {
-	if p == nil {
-		return nil, fmt.Errorf("core: nil pattern")
-	}
-	if err := p.validate(); err != nil {
-		return nil, err
-	}
-	h.mu.Lock()
-	ok := h.allocated
-	h.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("core: Run before Allocate")
-	}
-	if err := h.waitActive(); err != nil {
-		return nil, err
-	}
-
-	ex := newExecutor(h, p)
-	v := h.cfg.Clock
-	h.sess.Prof.RecordID(h.coreEnt, h.evRunStart)
-	t0 := v.Now()
-	err := ex.run()
-	ttc := v.Now() - t0
-	h.sess.Prof.RecordID(h.coreEnt, h.evRunStop)
-
-	rep := ex.report()
-	rep.TTC = ttc
-	h.mu.Lock()
-	rep.CoreOverhead = h.allocCtl + h.deallocCtl
-	rep.QueueWait = h.queueWait
-	rep.AgentStartup = h.agentStartup
-	h.mu.Unlock()
-	if err != nil {
-		return rep, err
-	}
-	return rep, nil
-}
+func (h *ResourceHandle) Run(p Pattern) (*Report, error) { return h.rs.Run(p) }
 
 // Deallocate cancels the pilot and releases the session. Its control time
 // joins the core overhead of subsequently produced reports.
-func (h *ResourceHandle) Deallocate() error {
-	h.mu.Lock()
-	if !h.allocated {
-		h.mu.Unlock()
-		return fmt.Errorf("core: Deallocate before Allocate")
-	}
-	h.mu.Unlock()
-	v := h.cfg.Clock
-	h.sess.Prof.RecordID(h.coreEnt, h.evDeallocStart)
-	t0 := v.Now()
-	if h.p != nil {
-		h.p.Cancel()
-		h.p.WaitFinal()
-	}
-	h.sess.Prof.RecordID(h.coreEnt, h.evDeallocStop)
-	h.mu.Lock()
-	h.deallocCtl = v.Now() - t0
-	h.mu.Unlock()
-	return nil
-}
+func (h *ResourceHandle) Deallocate() error { return h.rs.Deallocate() }
 
 // Execute allocates, runs the pattern, and deallocates, returning a
 // report whose core overhead includes both control phases. This is what
 // the experiment harness uses.
-func (h *ResourceHandle) Execute(p Pattern) (*Report, error) {
-	if err := h.Allocate(); err != nil {
-		return nil, err
-	}
-	rep, runErr := h.Run(p)
-	if err := h.Deallocate(); err != nil && runErr == nil {
-		runErr = err
-	}
-	if rep != nil {
-		h.mu.Lock()
-		rep.CoreOverhead = h.allocCtl + h.deallocCtl
-		h.mu.Unlock()
-	}
-	return rep, runErr
-}
+func (h *ResourceHandle) Execute(p Pattern) (*Report, error) { return h.rs.Execute(p) }

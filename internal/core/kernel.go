@@ -31,6 +31,11 @@ type Kernel struct {
 	Cores int
 	// MPI marks the task as an MPI executable allowed to span nodes.
 	MPI bool
+	// Tags request pilot affinity in multi-pilot resource sets: under a
+	// tag-affinity placement policy the task lands on a pilot carrying
+	// every one of these tags (matched against PilotSpec.Tags). Ignored
+	// by single-pilot bindings and non-affinity policies.
+	Tags []string
 	// InputStaging and OutputStaging move data before/after execution.
 	InputStaging  []stage.Directive
 	OutputStaging []stage.Directive
@@ -75,6 +80,7 @@ func (k *Kernel) bind(taskName string, attempt int) pilot.UnitDescription {
 		Params:        k.Params,
 		Cores:         cores,
 		MPI:           k.MPI,
+		Tags:          k.Tags,
 		InputStaging:  k.InputStaging,
 		OutputStaging: k.OutputStaging,
 		Work:          k.Work,

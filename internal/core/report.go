@@ -24,6 +24,31 @@ type PhaseStat struct {
 	Occurrences int
 }
 
+// PilotUtilization is one pilot's share of a campaign: how many units
+// the late-binding placement routed to it and how busy they kept its
+// allocation over the campaign window. The utilization denominator is
+// the campaign TTC, so a pilot that sat idle while another machine
+// carried the campaign shows near-zero utilization.
+type PilotUtilization struct {
+	// Pilot is the pilot's runtime id (set order follows the spec list).
+	Pilot int
+	// Resource is the machine the pilot runs on.
+	Resource string
+	// Cores is the pilot size.
+	Cores int
+	// Tags are the pilot's affinity tags.
+	Tags []string
+	// Units is the number of units that executed on the pilot during
+	// the campaign.
+	Units int
+	// CoreBusy is the core-weighted execution time those units consumed.
+	CoreBusy time.Duration
+	// Utilization is CoreBusy over the pilot's capacity for the
+	// campaign span (cores × campaign TTC), in [0, 1] up to launcher
+	// and staging slack.
+	Utilization float64
+}
+
 // Report is the TTC decomposition of one pattern execution, the data
 // behind the paper's stacked-bar and scaling figures.
 type Report struct {

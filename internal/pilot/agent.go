@@ -89,6 +89,14 @@ type agent struct {
 	// completion — placement time + launch latency + cost-model duration —
 	// the data the EASY reservation is computed from.
 	runEnds map[*ComputeUnit]runInfo
+
+	// utilUnits/utilBusy accumulate the pilot's utilization counters:
+	// units that finished executing here and their core-weighted
+	// execution time. Updated under mu at exec stop, before the unit
+	// turns final (O(1) per unit); campaign reports diff snapshots
+	// across their run window.
+	utilUnits int
+	utilBusy  time.Duration
 }
 
 // runInfo is a running unit's projected completion and core count.
@@ -184,28 +192,11 @@ func (a *agent) stop(cause error) {
 // visible to the scheduler, so a pass can never execute it first; queue
 // insertion and the pass request then share one critical section.
 func (a *agent) submit(u *ComputeUnit) {
-	if a.isStopped() {
-		u.finish(UnitFailed, a.stopCause())
-		return
-	}
-	// Units that can never be placed on this pilot are rejected here, at
-	// submission, against the pilot's static shape — queueing them would
-	// wedge the FIFO (and the watermark would rightly never trigger a
-	// pass for them).
-	need := u.Desc.Cores
-	if need > a.pilot.Desc.Cores {
-		u.finish(UnitFailed, fmt.Errorf(
-			"pilot: unit %q needs %d cores, pilot %d holds %d",
-			u.Desc.Name, need, a.pilot.ID, a.pilot.Desc.Cores))
-		return
-	}
-	if m := a.pilot.backend.machine; !u.Desc.MPI && need > m.CoresPerNode {
-		u.finish(UnitFailed, fmt.Errorf(
-			"pilot: non-MPI unit %q needs %d cores, node has %d",
-			u.Desc.Name, need, m.CoresPerNode))
+	if !a.admit(u) {
 		return
 	}
 	u.setState(UnitQueued)
+	need := u.Desc.Cores
 	a.mu.Lock()
 	if a.stopped {
 		cause := a.stopErr
@@ -219,6 +210,84 @@ func (a *agent) submit(u *ComputeUnit) {
 	}
 	if u.Desc.MPI && need < a.minNeedMPI {
 		a.minNeedMPI = need
+	}
+	if !a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.dirty = true
+	if a.inPass {
+		a.mu.Unlock()
+		return
+	}
+	a.runPasses() // unlocks
+}
+
+// admit applies the static submission checks shared by submit and
+// submitBatch, failing units that can never run here. It returns false
+// when the unit was finished (rejected) and must not be queued.
+func (a *agent) admit(u *ComputeUnit) bool {
+	if a.isStopped() {
+		u.finish(UnitFailed, a.stopCause())
+		return false
+	}
+	// Units that can never be placed on this pilot are rejected here, at
+	// submission, against the pilot's static shape — queueing them would
+	// wedge the FIFO (and the watermark would rightly never trigger a
+	// pass for them).
+	need := u.Desc.Cores
+	if need > a.pilot.Desc.Cores {
+		u.finish(UnitFailed, fmt.Errorf(
+			"pilot: unit %q needs %d cores, pilot %d holds %d",
+			u.Desc.Name, need, a.pilot.ID, a.pilot.Desc.Cores))
+		return false
+	}
+	if m := a.pilot.backend.machine; !u.Desc.MPI && need > m.CoresPerNode {
+		u.finish(UnitFailed, fmt.Errorf(
+			"pilot: non-MPI unit %q needs %d cores, node has %d",
+			u.Desc.Name, need, m.CoresPerNode))
+		return false
+	}
+	return true
+}
+
+// submitBatch enqueues one wave's worth of units bound to this pilot as
+// a single bulk submission: every unit is admitted and recorded QUEUED,
+// then the whole group joins the pending FIFO under one critical
+// section with one scheduling-pass request — instead of a lock
+// acquisition and pass attempt per unit. Placement outcomes are
+// identical to per-unit submission (passes are FIFO over pending), so
+// this is purely a client-side cost reduction.
+func (a *agent) submitBatch(us []*ComputeUnit) {
+	queued := us[:0:0]
+	for _, u := range us {
+		if !a.admit(u) {
+			continue
+		}
+		u.setState(UnitQueued)
+		queued = append(queued, u)
+	}
+	if len(queued) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.stopped {
+		cause := a.stopErr
+		a.mu.Unlock()
+		for _, u := range queued {
+			u.finish(UnitFailed, cause)
+		}
+		return
+	}
+	a.pending = append(a.pending, queued...)
+	for _, u := range queued {
+		need := u.Desc.Cores
+		if need < a.minNeedAny {
+			a.minNeedAny = need
+		}
+		if u.Desc.MPI && need < a.minNeedMPI {
+			a.minNeedMPI = need
+		}
 	}
 	if !a.started {
 		a.mu.Unlock()
@@ -276,6 +345,13 @@ func (a *agent) schedule() {
 		return
 	}
 	a.runPasses() // unlocks
+}
+
+// utilSnapshot reads the utilization counters.
+func (a *agent) utilSnapshot() UtilSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return UtilSnapshot{Units: a.utilUnits, CoreBusy: a.utilBusy}
 }
 
 // release returns an allocation's cores and reschedules. The watermark
@@ -582,6 +658,13 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	stop := v.Now()
 	prof.RecordID(u.entityID, vocab.evExecStop)
 	u.markExec(start, stop)
+	// Utilization counters are bumped before the unit can turn final, so
+	// a snapshot taken when a campaign's last unit settles cannot miss
+	// its execution.
+	a.mu.Lock()
+	a.utilUnits++
+	a.utilBusy += (stop - start) * time.Duration(u.Desc.Cores)
+	a.mu.Unlock()
 
 	if u.Desc.FailOn != nil && u.Desc.FailOn(u.Desc.Attempt) {
 		u.finish(UnitFailed, fmt.Errorf("unit %q failed (injected, attempt %d)",

@@ -1,0 +1,170 @@
+package pilot
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"entk/internal/vclock"
+)
+
+// batcherWorkload runs three concurrent bulk waves of distinct widths
+// through submit (either the batcher or the raw unit manager) on a
+// fresh session, and returns each wave's unit exec windows in sorted
+// order plus the umgr wave count.
+func batcherWorkload(t *testing.T, batched bool) ([][][2]time.Duration, int) {
+	t.Helper()
+	v := vclock.NewVirtual()
+	s := testSession(t, v)
+	um := NewUnitManager(s)
+	b := NewWaveBatcher(um)
+	widths := []int{3, 5, 9}
+	windows := make([][][2]time.Duration, len(widths))
+	v.Run(func() {
+		_, p := startPilot(t, s, 32)
+		um.AddPilot(p)
+		wg := vclock.NewWaitGroup(v, "submitters")
+		for w, width := range widths {
+			w, width := w, width
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				descs := make([]UnitDescription, width)
+				for i := range descs {
+					descs[i] = sleepUnit("b"+pad2(w, i), float64(1+w))
+				}
+				var units []*ComputeUnit
+				var err error
+				if batched {
+					units, err = b.Submit(descs)
+				} else {
+					units, err = um.Submit(descs)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, u := range units {
+					if st := u.WaitFinal(); st != UnitDone {
+						t.Errorf("wave %d unit %s final state %v", w, u.Entity(), st)
+					}
+					start, stop, ok := u.ExecWindow()
+					if !ok {
+						t.Errorf("wave %d unit %s never executed", w, u.Entity())
+					}
+					windows[w] = append(windows[w], [2]time.Duration{start, stop})
+				}
+			})
+		}
+		wg.Wait()
+		p.Cancel()
+		p.WaitFinal()
+	})
+	for w := range windows {
+		sort.Slice(windows[w], func(i, j int) bool {
+			if windows[w][i][0] != windows[w][j][0] {
+				return windows[w][i][0] < windows[w][j][0]
+			}
+			return windows[w][i][1] < windows[w][j][1]
+		})
+	}
+	return windows, um.Waves()
+}
+
+// TestBatcherTimelineNeutral is the batcher's core contract: coalescing
+// concurrent waves changes the wall-clock shape (fewer umgr waves), not
+// the simulated timeline — every unit's exec window must match the
+// unbatched run exactly, and each wave's units must dispatch at the
+// wave's own client-side-cost deadline.
+func TestBatcherTimelineNeutral(t *testing.T) {
+	batched, batchedWaves := batcherWorkload(t, true)
+	plain, plainWaves := batcherWorkload(t, false)
+	for w := range plain {
+		if len(batched[w]) != len(plain[w]) {
+			t.Fatalf("wave %d: %d units batched vs %d unbatched", w, len(batched[w]), len(plain[w]))
+		}
+		for i := range plain[w] {
+			if batched[w][i] != plain[w][i] {
+				t.Errorf("wave %d unit %d exec window diverges: batched %v, unbatched %v",
+					w, i, batched[w][i], plain[w][i])
+			}
+		}
+	}
+	if plainWaves != 3 {
+		t.Errorf("unbatched run recorded %d umgr waves, want 3", plainWaves)
+	}
+	// The batcher coalesces same-instant waves into drain rounds: at
+	// least the leader's round merges with whoever enqueued while it
+	// drained, so the count never exceeds the unbatched one. (The exact
+	// round count depends on wall-clock interleaving.)
+	if batchedWaves < 1 || batchedWaves > plainWaves {
+		t.Errorf("batched run recorded %d umgr waves, want 1..%d", batchedWaves, plainWaves)
+	}
+}
+
+// TestBatcherSingleWaveMatchesSubmit pins the uncontended path: one
+// wave through the batcher must behave exactly like UnitManager.Submit
+// — same unit order, same dispatch deadline (t + n x UMSubmitPerUnit),
+// one wave bracket, one bulk agent submission.
+func TestBatcherSingleWaveMatchesSubmit(t *testing.T) {
+	v := vclock.NewVirtual()
+	s := testSession(t, v)
+	um := NewUnitManager(s)
+	b := NewWaveBatcher(um)
+	v.Run(func() {
+		_, p := startPilot(t, s, 8)
+		um.AddPilot(p)
+		t0 := v.Now()
+		descs := []UnitDescription{sleepUnit("a.00", 1), sleepUnit("a.01", 2), sleepUnit("a.02", 1)}
+		units, err := b.Submit(descs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dispatched := v.Now() - t0
+		if want := time.Duration(len(descs)) * s.Cfg.UMSubmitPerUnit; dispatched != want {
+			t.Errorf("wave dispatched after %v, want %v", dispatched, want)
+		}
+		for i, u := range units {
+			if u.Desc.Name != descs[i].Name {
+				t.Errorf("unit %d = %q, want %q (description order)", i, u.Desc.Name, descs[i].Name)
+			}
+			if st := u.WaitFinal(); st != UnitDone {
+				t.Errorf("unit %s final state %v", u.Desc.Name, st)
+			}
+		}
+		p.Cancel()
+		p.WaitFinal()
+	})
+	if got := um.Waves(); got != 1 {
+		t.Errorf("wave count = %d, want 1", got)
+	}
+}
+
+// TestBatcherValidationFailsWholeWave pins the error contract: a
+// malformed description fails its own wave before any unit is created,
+// and leaves other waves untouched.
+func TestBatcherValidationFailsWholeWave(t *testing.T) {
+	v := vclock.NewVirtual()
+	s := testSession(t, v)
+	um := NewUnitManager(s)
+	b := NewWaveBatcher(um)
+	v.Run(func() {
+		_, p := startPilot(t, s, 8)
+		um.AddPilot(p)
+		if _, err := b.Submit([]UnitDescription{sleepUnit("ok", 1), {Name: "bad"}}); err == nil {
+			t.Error("malformed wave accepted")
+		}
+		units, err := b.Submit([]UnitDescription{sleepUnit("ok2", 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := units[0].WaitFinal(); st != UnitDone {
+			t.Errorf("follow-up wave unit state %v", st)
+		}
+		p.Cancel()
+		p.WaitFinal()
+	})
+	if got := um.Waves(); got != 1 {
+		t.Errorf("wave count = %d, want 1 (failed wave must not bracket)", got)
+	}
+}

@@ -23,8 +23,9 @@ type UnitManager struct {
 
 	mu     sync.Mutex
 	pilots []*ComputePilot
-	rr     int // round-robin cursor
-	waves  int // waves accepted (Submit + SubmitStreamed calls)
+	rr     int             // round-robin cursor (legacy Cfg.Scheduler path)
+	place  PlacementPolicy // nil = legacy Cfg.Scheduler behaviour
+	waves  int             // waves accepted (Submit + SubmitStreamed + batched rounds)
 }
 
 // NewUnitManager returns a unit manager bound to the session.
@@ -51,6 +52,24 @@ func (um *UnitManager) endWave() {
 	um.sess.Prof.RecordID(um.ent, um.sess.vocab.evWaveStop)
 }
 
+// SetPlacement installs a placement policy, replacing the legacy
+// per-unit Cfg.Scheduler choice. Multi-pilot resource sets install one
+// at allocation; with none installed the manager keeps the seed
+// behaviour unchanged.
+func (um *UnitManager) SetPlacement(p PlacementPolicy) {
+	um.mu.Lock()
+	um.place = p
+	um.mu.Unlock()
+}
+
+// Placement returns the installed placement policy, nil for the legacy
+// scheduler path.
+func (um *UnitManager) Placement() PlacementPolicy {
+	um.mu.Lock()
+	defer um.mu.Unlock()
+	return um.place
+}
+
 // AddPilot makes a pilot available for unit scheduling.
 func (um *UnitManager) AddPilot(p *ComputePilot) {
 	um.mu.Lock()
@@ -71,12 +90,22 @@ func (um *UnitManager) RemovePilot(p *ComputePilot) {
 	um.mu.Unlock()
 }
 
-// pick selects a pilot for the next unit per the scheduler policy.
-func (um *UnitManager) pick() (*ComputePilot, error) {
+// pick selects a pilot for the next unit: the placement policy when one
+// is installed (late binding over a multi-pilot set), else the legacy
+// Cfg.Scheduler choice.
+func (um *UnitManager) pick(d *UnitDescription) (*ComputePilot, error) {
 	um.mu.Lock()
 	defer um.mu.Unlock()
 	if len(um.pilots) == 0 {
 		return nil, fmt.Errorf("pilot: unit manager has no pilots")
+	}
+	if um.place != nil {
+		p := um.place.Place(d, um.pilots)
+		if p == nil {
+			return nil, fmt.Errorf("pilot: no pilot in the set can run unit %q (%d cores, mpi=%v, tags=%v)",
+				d.Name, d.Cores, d.MPI, d.Tags)
+		}
+		return p, nil
 	}
 	switch um.sess.Cfg.Scheduler {
 	case LeastLoaded:
@@ -118,7 +147,7 @@ func (um *UnitManager) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
 	um.sess.V.Sleep(time.Duration(len(descs)) * um.sess.Cfg.UMSubmitPerUnit)
 	for _, u := range units {
 		u.setState(UnitScheduling)
-		p, err := um.pick()
+		p, err := um.pick(&u.Desc)
 		if err != nil {
 			u.finish(UnitFailed, err)
 			continue
@@ -157,7 +186,7 @@ func (um *UnitManager) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, 
 		// Client-side creation/serialization cost for this one unit.
 		um.sess.V.Sleep(perUnit)
 		u.setState(UnitScheduling)
-		p, err := um.pick()
+		p, err := um.pick(&u.Desc)
 		if err != nil {
 			u.finish(UnitFailed, err)
 			continue
@@ -169,6 +198,85 @@ func (um *UnitManager) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, 
 		p.agent.submit(u)
 	}
 	return units, nil
+}
+
+// createValidated creates units for already-validated descriptions
+// (recording the NEW lifecycle events), charging no virtual time — the
+// creation half of Submit. The wave batcher validates each wave once
+// before it joins a round, then uses this to coalesce the creation of
+// many concurrent waves under one umgr bracket; each member then pays
+// its wave's client-side cost and Dispatches its units.
+func (um *UnitManager) createValidated(descs []UnitDescription) []*ComputeUnit {
+	units := make([]*ComputeUnit, 0, len(descs))
+	for _, d := range descs {
+		u := newUnit(um.sess, d)
+		um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evNew)
+		units = append(units, u)
+	}
+	return units
+}
+
+// dispatchChunkMin bounds how small Dispatch's per-pilot runs get when
+// a pilot is saturated: chunks of at least this many units keep the
+// agent lock traffic well below per-unit submission while load-based
+// tie-breaking still sees fresh state every chunk.
+const dispatchChunkMin = 64
+
+// Dispatch late-binds created units to pilots and hands them to the
+// agents — the dispatch half of Submit, called once the wave's
+// client-side cost has elapsed. Consecutive units bound to the same
+// pilot are forwarded as bulk agent submissions (one queue insertion
+// and one scheduling-pass request per run), so a single-pilot wave
+// reaches its agent in a handful of bulk submits. A run is flushed when
+// the pick switches pilots AND when it reaches the free-core count
+// sampled at the run's start: the agent absorbs the run (placing what
+// fits) before the next pick, so free-core- and load-based policies
+// observe state that includes the units already dispatched — without
+// the cap, a policy like PlaceLeastLoaded would see frozen counters,
+// never switch pilots, and pour an entire wave onto one machine. Must
+// be called from a registered vclock process.
+func (um *UnitManager) Dispatch(units []*ComputeUnit) {
+	var runPilot *ComputePilot
+	var run []*ComputeUnit
+	runCap := 0
+	flush := func() {
+		if runPilot != nil && len(run) > 0 {
+			runPilot.agent.submitBatch(run)
+			run = run[:0]
+		}
+	}
+	// A run is capped at the pilot's current free cores; on a saturated
+	// pilot (nothing placeable, runs only grow backlog) the fixed chunk
+	// floor applies instead.
+	sampleCap := func() int {
+		if c := runPilot.FreeCores(); c > 0 {
+			return c
+		}
+		return dispatchChunkMin
+	}
+	for _, u := range units {
+		u.setState(UnitScheduling)
+		p, err := um.pick(&u.Desc)
+		if err != nil {
+			u.finish(UnitFailed, err)
+			continue
+		}
+		u.mu.Lock()
+		u.pilot = p
+		u.mu.Unlock()
+		um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evUmgrBound)
+		if p != runPilot {
+			flush()
+			runPilot = p
+			runCap = sampleCap()
+		}
+		run = append(run, u)
+		if len(run) >= runCap {
+			flush()
+			runCap = sampleCap()
+		}
+	}
+	flush()
 }
 
 // SubmitOne is a convenience wrapper for a single description.

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"entk/internal/cluster"
 	"entk/internal/profile"
 	"entk/internal/saga"
 	"entk/internal/vclock"
@@ -76,6 +77,10 @@ type PilotDescription struct {
 	// Queue and Project are passed through to the batch system.
 	Queue   string
 	Project string
+	// Tags label the pilot for tag-affinity placement in multi-pilot
+	// sets (e.g. "mpi", "gpu", "bigmem"). Purely advisory: only
+	// placement policies read them.
+	Tags []string
 }
 
 // Validate rejects malformed descriptions.
@@ -111,6 +116,44 @@ type ComputePilot struct {
 
 // Entity returns the pilot's profiler entity key.
 func (p *ComputePilot) Entity() string { return p.entity }
+
+// Machine returns the platform the pilot is allocated on — the data a
+// placement policy needs to judge structural fit (node width for
+// non-MPI units).
+func (p *ComputePilot) Machine() *cluster.Machine { return p.backend.machine }
+
+// Tags returns the pilot's affinity tags.
+func (p *ComputePilot) Tags() []string { return p.Desc.Tags }
+
+// FreeCores reports the agent's currently free cores — the late-binding
+// signal free-core placement policies route by.
+func (p *ComputePilot) FreeCores() int { return p.agent.freeCores() }
+
+// Load reports the agent's backlog (queued plus running units), the
+// signal behind least-loaded unit scheduling.
+func (p *ComputePilot) Load() int { return p.agent.load() }
+
+// UtilSnapshot is a point-in-time utilization counter of one pilot:
+// how many units have executed on it and how many core-seconds of
+// execution they consumed. Campaign reports diff two snapshots to
+// compute per-pilot utilization over the campaign window.
+type UtilSnapshot struct {
+	// Units is the number of units that completed execution (successful
+	// or not) on the pilot.
+	Units int
+	// CoreBusy is the cumulative execution time weighted by each unit's
+	// core count (core-seconds of the allocation kept busy).
+	CoreBusy time.Duration
+}
+
+// Sub returns the counter delta s - prev.
+func (s UtilSnapshot) Sub(prev UtilSnapshot) UtilSnapshot {
+	return UtilSnapshot{Units: s.Units - prev.Units, CoreBusy: s.CoreBusy - prev.CoreBusy}
+}
+
+// Util returns the pilot's cumulative utilization counters since
+// activation.
+func (p *ComputePilot) Util() UtilSnapshot { return p.agent.utilSnapshot() }
 
 // State returns the pilot's current state.
 func (p *ComputePilot) State() PilotState {

@@ -113,6 +113,10 @@ type UnitDescription struct {
 	Cores int
 	// MPI marks the unit as an MPI task, allowed to span nodes.
 	MPI bool
+	// Tags request pilot affinity in multi-pilot sets: a tag-affinity
+	// placement policy routes the unit to a pilot carrying every one of
+	// these tags. Untagged units place anywhere they fit.
+	Tags []string
 	// InputStaging runs before execution.
 	InputStaging []stage.Directive
 	// OutputStaging runs after execution.

@@ -26,9 +26,19 @@ import (
 // StressMixedPipeline describes one pipeline of the mixed campaign.
 type StressMixedPipeline struct {
 	Name     string
-	Width    int // tasks per stage
-	Depth    int // stages
-	CoresPer int // cores per task (MPI when > 1)
+	Width    int      // tasks per stage
+	Depth    int      // stages
+	CoresPer int      // cores per task (MPI when > 1)
+	Tags     []string // pilot affinity tags (multi-pilot campaigns)
+	Seconds  float64  // per-task runtime; 0 = the tier default (30s)
+}
+
+// taskSeconds resolves the per-task runtime against the tier default.
+func (pp *StressMixedPipeline) taskSeconds() float64 {
+	if pp.Seconds > 0 {
+		return pp.Seconds
+	}
+	return stress100kSeconds
 }
 
 // Stress100kMixedPlan is the default campaign: 100352 tasks total, peak
@@ -65,9 +75,13 @@ type Stress100kMixedRow struct {
 }
 
 // Stress100kMixedResult holds the campaign outcome: the aggregate row,
-// per-pipeline rows, and the handle-level components.
+// per-pipeline rows, and the handle-level components. Machine and Cores
+// record the pilot the campaign ran on (the oversubscribed tier and the
+// smoke plans run on different pilots than the default 64k machine).
 type Stress100kMixedResult struct {
 	Plan            []StressMixedPipeline
+	Machine         string
+	Cores           int
 	Campaign        Stress100kMixedRow
 	Pipelines       []Stress100kMixedRow
 	QueueWaitSec    float64
@@ -83,10 +97,11 @@ func buildMixedPipelines(plan []StressMixedPipeline) []*core.Pipeline {
 	for i, pp := range plan {
 		kernel := &core.Kernel{
 			Name:   "misc.sleep",
-			Params: map[string]float64{"seconds": stress100kSeconds},
+			Params: map[string]float64{"seconds": pp.taskSeconds()},
 			Cores:  pp.CoresPer,
 			MPI:    pp.CoresPer > 1,
 		}
+		kernel.Tags = pp.Tags
 		stages := make([]*core.Stage, pp.Depth)
 		for s := range stages {
 			tasks := make([]core.Task, pp.Width)
@@ -110,10 +125,17 @@ func Stress100kMixedOn(plan []StressMixedPipeline, eng vclock.Engine) (*Stress10
 	if plan == nil {
 		plan = Stress100kMixedPlan
 	}
+	return stressCampaignOn(Stress100kMachine, Stress100kCores, plan, eng)
+}
+
+// stressCampaignOn runs a mixed campaign plan through one AppManager on
+// an explicit pilot (machine label + size) and vclock engine — the
+// shared runner behind the mixed and oversubscribed tiers.
+func stressCampaignOn(machine string, cores int, plan []StressMixedPipeline, eng vclock.Engine) (*Stress100kMixedResult, error) {
 	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.ProfLayout = DefaultProfLayout
-	h, err := core.NewResourceHandle(Stress100kMachine, Stress100kCores, 10000*time.Hour,
+	h, err := core.NewResourceHandle(machine, cores, 10000*time.Hour,
 		core.Config{Clock: v, Exec: DefaultExec, Runtime: rcfg})
 	if err != nil {
 		return nil, err
@@ -141,6 +163,8 @@ func Stress100kMixedOn(plan []StressMixedPipeline, eng vclock.Engine) (*Stress10
 
 	res := &Stress100kMixedResult{
 		Plan:            plan,
+		Machine:         machine,
+		Cores:           cores,
 		QueueWaitSec:    camp.Campaign.QueueWait.Seconds(),
 		AgentStartupSec: camp.Campaign.AgentStartup.Seconds(),
 		CoreOvhSec:      camp.Campaign.CoreOverhead.Seconds(),
@@ -208,7 +232,10 @@ func (r *Stress100kMixedResult) Check() error {
 		return fmt.Errorf("stress 100k mixed: %d pipeline rows for %d plan entries",
 			len(r.Pipelines), len(r.Plan))
 	}
-	m := cluster.Stress64k
+	m, err := cluster.Lookup(r.Machine)
+	if err != nil {
+		return err
+	}
 	perUnit := pilot.DefaultConfig().UMSubmitPerUnit.Seconds()
 	peak := 0
 	wantTotal := 0
@@ -226,7 +253,7 @@ func (r *Stress100kMixedResult) Check() error {
 			return fmt.Errorf("stress 100k mixed: pipeline %s pattern overhead %.3fs, want exactly %.3fs",
 				w.Name, w.PatternOvhSec, wantOvh)
 		}
-		wantExec := float64(pp.Depth) * stress100kSeconds
+		wantExec := float64(pp.Depth) * pp.taskSeconds()
 		if w.ExecSec < wantExec || w.ExecSec > wantExec+5*float64(pp.Depth) {
 			return fmt.Errorf("stress 100k mixed: pipeline %s exec %.1fs, want ~%.1fs (%d one-wave stages)",
 				w.Name, w.ExecSec, wantExec, pp.Depth)
@@ -240,9 +267,9 @@ func (r *Stress100kMixedResult) Check() error {
 		}
 		sumTTC += w.TTCSec
 	}
-	if peak > Stress100kCores {
+	if peak > r.Cores {
 		return fmt.Errorf("stress 100k mixed: plan's peak demand %d exceeds the %d-core pilot (stages would split into waves)",
-			peak, Stress100kCores)
+			peak, r.Cores)
 	}
 	c := r.Campaign
 	if c.Tasks != wantTotal {
@@ -262,7 +289,7 @@ func (r *Stress100kMixedResult) Check() error {
 	}
 	// Queue wait: the shared pilot's full model delay plus at most 1s of
 	// control latency, with the per-node component dominating.
-	nodes := m.NodesFor(Stress100kCores)
+	nodes := m.NodesFor(r.Cores)
 	baseWait := m.QueueWaitBase.Seconds()
 	perNodeWait := float64(nodes) * m.QueueWaitPerNode.Seconds()
 	if r.QueueWaitSec < baseWait+perNodeWait || r.QueueWaitSec > baseWait+perNodeWait+1 {
