@@ -461,19 +461,42 @@ func BenchmarkMultiPilotCampaign(b *testing.B) {
 	b.ReportMetric(float64(units)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
 }
 
-// BenchmarkStress1M is the guarded 1M-task probe: 2^20 single-stage
-// tasks through the 65536-core pilot in 16 scheduling waves. It
-// allocates on the order of a gigabyte per run, so it only runs when
-// ENTK_STRESS_1M=1 is set (it is not part of any CI row); its
-// allocs/peak-heap trajectory is recorded in BENCH_PR5.json via
-// entk-bench -stress1m.
+// BenchmarkStress1M is the 1M-task tier: 2^20 single-stage tasks
+// through the 65536-core pilot in 16 scheduling waves. It ran guarded
+// (ENTK_STRESS_1M=1) while the seed's flat pending FIFO collapsed the
+// tier to ~4k units/s of wall throughput — every scheduling pass
+// rebuilt the remaining queue, O(pending) per pass; the segmented
+// pending queue makes passes O(placed) and the tier runs unguarded in
+// the benchmark matrix at >10x that rate (trajectory in
+// BENCH_PR6.json, recorded via entk-bench -stress1m).
 func BenchmarkStress1M(b *testing.B) {
-	if os.Getenv("ENTK_STRESS_1M") == "" {
-		b.Skip("1M probe skipped (set ENTK_STRESS_1M=1 to run)")
-	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := workload.Stress1MProbe()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Rows[0].TTCSec, "ttc_s")
+			b.ReportMetric(float64(res.Rows[0].Tasks)*float64(b.N)/b.Elapsed().Seconds(), "units/s")
+		}
+	}
+}
+
+// BenchmarkStress10M is the guarded 10M-task probe: one more 10x step
+// (160 scheduling waves), holding a multi-gigabyte live heap, so it
+// only runs when ENTK_STRESS_10M=1 is set (it is not part of any CI
+// row). It pins the segmented pending queue's flat per-unit cost one
+// order of magnitude past the wall the seed FIFO collapsed at; its
+// allocs/peak-heap trajectory is recorded in BENCH_PR6.json via
+// entk-bench -stress10m.
+func BenchmarkStress10M(b *testing.B) {
+	if os.Getenv("ENTK_STRESS_10M") == "" {
+		b.Skip("10M probe skipped (set ENTK_STRESS_10M=1 to run)")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Stress10MProbe()
 		if err != nil {
 			b.Fatal(err)
 		}

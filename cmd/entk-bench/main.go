@@ -19,8 +19,10 @@
 //	entk-bench -multipilot     # the multi-pilot tier: two-machine
 //	                           # tag-affinity campaign with per-pilot
 //	                           # utilization columns
-//	entk-bench -stress1m       # the guarded 1M-task probe (adds the
-//	                           # stress_1m section to -json output)
+//	entk-bench -stress1m       # the 1M-task tier (adds the stress_1m
+//	                           # section to -json output)
+//	entk-bench -stress10m      # the guarded 10M-task probe (adds the
+//	                           # stress_10m section to -json output)
 //	entk-bench -profdump t.bin # write a binary session trace (one
 //	                           # unit-throughput run, profile dump format)
 //	entk-bench -cpuprofile entk.prof -stress
@@ -60,7 +62,8 @@ func main() {
 	stress := flag.Bool("stress", false, "run the stress tiers (10k EE/EoP + the 100k, mixed, oversubscribed, and multi-pilot tiers)")
 	graph := flag.Bool("graph", false, "run the graph tier: the mixed 100k campaign and the graph-vs-ref executor throughput A/B")
 	multipilot := flag.Bool("multipilot", false, "run the multi-pilot tier: the two-machine tag-affinity campaign with per-pilot utilization columns")
-	stress1m := flag.Bool("stress1m", false, "run the guarded 1M-task probe (recorded in -json as stress_1m)")
+	stress1m := flag.Bool("stress1m", false, "run the 1M-task tier (recorded in -json as stress_1m)")
+	stress10m := flag.Bool("stress10m", false, "run the guarded 10M-task probe (recorded in -json as stress_10m)")
 	profDump := flag.String("profdump", "", "run the unit-throughput workload and write its binary session trace to this file")
 	jsonPath := flag.String("json", "", "write throughput and stress metrics to this JSON file")
 	engineName := flag.String("engine", "handoff", "vclock engine to run on: handoff or ref")
@@ -89,7 +92,7 @@ func main() {
 		defer stopProfile()
 	}
 
-	runAll := *fig == 0 && *ablation == "" && !*stress && !*graph && !*multipilot && !*stress1m && *profDump == "" && *jsonPath == ""
+	runAll := *fig == 0 && *ablation == "" && !*stress && !*graph && !*multipilot && !*stress1m && !*stress10m && *profDump == "" && *jsonPath == ""
 
 	figures := map[int]func() error{
 		3: func() error { return printFig3() },
@@ -155,12 +158,19 @@ func main() {
 	}
 
 	if *stress || *jsonPath != "" {
-		if err := runStress(*jsonPath, *stress1m); err != nil {
+		if err := runStress(*jsonPath, *stress1m, *stress10m); err != nil {
 			fatalf("entk-bench: stress: %v", err)
 		}
-	} else if *stress1m {
-		if _, err := runStress1M(); err != nil {
-			fatalf("entk-bench: stress1m: %v", err)
+	} else {
+		if *stress1m {
+			if _, err := runStress1M(); err != nil {
+				fatalf("entk-bench: stress1m: %v", err)
+			}
+		}
+		if *stress10m {
+			if _, err := runStress10M(); err != nil {
+				fatalf("entk-bench: stress10m: %v", err)
+			}
 		}
 	}
 }
@@ -184,14 +194,25 @@ func runMultiPilot(out *workload.MultiPilotResult) error {
 	return nil
 }
 
-// runStress1M runs the guarded 1M-task probe with allocation sampling.
+// runStress1M runs the 1M-task tier with allocation sampling.
 func runStress1M() (*stress1MMetric, error) {
-	fmt.Println("Stress: guarded 1M-task probe (16 waves on sim.stress64k)")
+	return runStressProbe("1M", "Stress: 1M-task tier (16 waves on sim.stress64k)", workload.Stress1MProbe)
+}
+
+// runStress10M runs the guarded 10M-task probe with allocation sampling.
+func runStress10M() (*stress1MMetric, error) {
+	return runStressProbe("10M", "Stress: guarded 10M-task probe (160 waves on sim.stress64k)", workload.Stress10MProbe)
+}
+
+// runStressProbe runs one many-wave probe point, printing its table and
+// allocation profile.
+func runStressProbe(label, title string, probe func() (*workload.Stress100kResult, error)) (*stress1MMetric, error) {
+	fmt.Println(title)
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	res, err := workload.Stress1MProbe()
+	res, err := probe()
 	if err != nil {
 		return nil, err
 	}
@@ -205,8 +226,8 @@ func runStress1M() (*stress1MMetric, error) {
 		BytesPerUnit:    float64(after.TotalAlloc-before.TotalAlloc) / float64(w.Tasks),
 		PeakHeapMB:      float64(after.HeapAlloc) / (1 << 20),
 	}
-	fmt.Printf("1M probe: %.1fs wall, %.1f allocs/unit, %.1f B/unit, %.1f MB heap after run\n",
-		wall.Seconds(), m.AllocsPerUnit, m.BytesPerUnit, m.PeakHeapMB)
+	fmt.Printf("%s probe: %.1fs wall, %.1f allocs/unit, %.1f B/unit, %.1f MB heap after run\n",
+		label, wall.Seconds(), m.AllocsPerUnit, m.BytesPerUnit, m.PeakHeapMB)
 	return m, nil
 }
 
@@ -311,6 +332,7 @@ type benchMetrics struct {
 	Stress100kOversub []workload.Stress100kMixedRow `json:"stress_100k_oversub"`
 	MultiPilot        *multiPilotMetric             `json:"multipilot,omitempty"`
 	Stress1M          *stress1MMetric               `json:"stress_1m,omitempty"`
+	Stress10M         *stress1MMetric               `json:"stress_10m,omitempty"`
 }
 
 // metricsNotes documents how to read the numbers.
@@ -335,8 +357,13 @@ const metricsNotes = "wall-clock numbers from the machine that generated this fi
 	"CheckOversub and TestStress100kOversubEngineParity); multipilot is the two-machine " +
 	"tag-affinity campaign on an entk.ResourceSet (pilot_utilization columns show the " +
 	"late-binding split; single-pilot sets are pinned bit-identical to the handle path by " +
-	"TestResourceSetReportParity); stress_1m is the guarded 1M-task probe " +
-	"(entk-bench -stress1m / BenchmarkStress1M behind ENTK_STRESS_1M=1)"
+	"TestResourceSetReportParity); stress_1m is the 1M-task tier (entk-bench -stress1m / " +
+	"BenchmarkStress1M, unguarded since the segmented pending queue made scheduling " +
+	"passes O(placed) instead of O(pending) — the queue A/B is gated by " +
+	"TestPendingQueueReportParity and the 100k sim columns are pinned byte-identical " +
+	"across queue implementations by TestStress100kPendingQueueParity); stress_10m is " +
+	"the guarded 10M-task probe (entk-bench -stress10m / BenchmarkStress10M behind " +
+	"ENTK_STRESS_10M=1, multi-gigabyte live heap)"
 
 // measureThroughput runs workload.PilotThroughputOn — the exact workload
 // BenchmarkPilotUnitThroughput times — `runs` times on the selected
@@ -390,7 +417,7 @@ func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, ex
 // runStress executes the stress tier, prints its tables, and (when
 // jsonPath is set) records the metrics file that tracks the perf
 // trajectory across PRs.
-func runStress(jsonPath string, with1M bool) error {
+func runStress(jsonPath string, with1M, with10M bool) error {
 	eop, err := workload.StressEoP(nil)
 	if err != nil {
 		return err
@@ -452,6 +479,12 @@ func runStress(jsonPath string, with1M bool) error {
 			return err
 		}
 	}
+	var probe10 *stress1MMetric
+	if with10M {
+		if probe10, err = runStress10M(); err != nil {
+			return err
+		}
+	}
 
 	if jsonPath == "" {
 		return nil
@@ -487,6 +520,7 @@ func runStress(jsonPath string, with1M bool) error {
 		Stress100kOversub: append(append([]workload.Stress100kMixedRow(nil), oversub.Pipelines...), oversub.Campaign),
 		MultiPilot:        &multiPilotMetric{Placement: mp.Placement, Rows: mpRows, Pilots: mpUtil},
 		Stress1M:          probe,
+		Stress10M:         probe10,
 	}
 	for _, eng := range []vclock.Engine{vclock.EngineHandoff, vclock.EngineRef} {
 		for _, rescan := range []bool{false, true} {

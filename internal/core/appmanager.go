@@ -156,12 +156,13 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 	for i, p := range rs.pilots {
 		d := p.Util().Sub(before[i])
 		u := PilotUtilization{
-			Pilot:    p.ID,
-			Resource: p.Desc.Resource,
-			Cores:    p.Desc.Cores,
-			Tags:     p.Desc.Tags,
-			Units:    d.Units,
-			CoreBusy: d.CoreBusy,
+			Pilot:     p.ID,
+			Resource:  p.Desc.Resource,
+			Cores:     p.Desc.Cores,
+			Tags:      p.Desc.Tags,
+			Units:     d.Units,
+			CoreBusy:  d.CoreBusy,
+			QueueWait: p.QueueWait(),
 		}
 		if ttc > 0 && p.Desc.Cores > 0 {
 			u.Utilization = d.CoreBusy.Seconds() / (float64(p.Desc.Cores) * ttc.Seconds())

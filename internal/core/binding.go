@@ -8,6 +8,7 @@ import (
 
 	"entk/internal/pilot"
 	"entk/internal/profile"
+	"entk/internal/vclock"
 )
 
 // This file is the resource-binding layer: the paper's core claim is
@@ -82,6 +83,18 @@ type ResourceSet struct {
 	// round-robin over structurally eligible pilots for multi-pilot
 	// sets. Set it before Allocate.
 	Placement pilot.PlacementPolicy
+	// EagerSubmit makes Run and AppManager.Run start submitting as soon
+	// as the FIRST pilot of the set activates instead of waiting for
+	// all of them: units late-bound to already-active pilots start
+	// immediately, while units bound to still-queued pilots wait in
+	// those pilots' agents and start on activation — so a
+	// slow-activating machine no longer delays work routed to a fast
+	// one. The reported QueueWait is then the earliest pilot's (the
+	// bound actual work start is measured against); per-pilot waits
+	// appear on the campaign utilization rows. Off by default: the run
+	// start gates on the slowest pilot, the seed semantics the recorded
+	// multi-pilot tiers pin. Set it before Run.
+	EagerSubmit bool
 
 	cfg    Config
 	sess   *pilot.Session
@@ -250,14 +263,18 @@ func (rs *ResourceSet) Allocate() error {
 	return nil
 }
 
-// waitActive blocks until every pilot of the set accepts units,
-// recording the queue wait (which is resource wait, not toolkit
-// overhead). With several machines the reported queue wait is the
-// slowest pilot's — work cannot start on the full set before then, and
-// that is the bound the campaign TTC is measured against.
+// waitActive blocks until the set can accept units, recording the
+// queue wait (which is resource wait, not toolkit overhead). By
+// default it waits for every pilot and reports the slowest one's wait
+// — work cannot start on the full set before then, and that is the
+// bound the campaign TTC is measured against. With EagerSubmit it
+// waits only for the first activation (see waitFirstActive).
 func (rs *ResourceSet) waitActive() error {
 	if len(rs.pilots) == 0 {
 		return fmt.Errorf("core: resource set not allocated")
+	}
+	if rs.EagerSubmit {
+		return rs.waitFirstActive()
 	}
 	v := rs.cfg.Clock
 	t0 := v.Now()
@@ -271,6 +288,66 @@ func (rs *ResourceSet) waitActive() error {
 			queueWait = qw
 		}
 	}
+	rs.mu.Lock()
+	rs.queueWait = queueWait
+	rs.agentStartup = v.Now() - t0 - queueWait
+	if rs.agentStartup < 0 {
+		rs.agentStartup = 0
+	}
+	rs.mu.Unlock()
+	return nil
+}
+
+// waitFirstActive blocks until at least one pilot of the set accepts
+// units, failing only when every pilot died before activation. The
+// recorded queue wait is the first-activated pilot's: submission
+// begins against it immediately, and units bound to the still-queued
+// pilots wait inside those pilots' agents — their machines' queue
+// waits then show up in the campaign timeline (and on the per-pilot
+// utilization rows), not as a gate before it.
+func (rs *ResourceSet) waitFirstActive() error {
+	v := rs.cfg.Clock
+	t0 := v.Now()
+	first := vclock.NewEvent(v, "resource set first activation")
+	var mu sync.Mutex
+	var winner *pilot.ComputePilot
+	dead := 0
+	for _, p := range rs.pilots {
+		// Already active (a second Run, or a zero-wait machine): no
+		// watcher processes needed. Prefer the earliest-activated pilot
+		// so repeated Runs report a stable queue wait.
+		if p.State() == pilot.PilotActive &&
+			(winner == nil || p.QueueWait() < winner.QueueWait()) {
+			winner = p
+		}
+	}
+	if winner == nil {
+		for _, p := range rs.pilots {
+			p := p
+			v.Go(func() {
+				p.WaitActive()
+				mu.Lock()
+				defer mu.Unlock()
+				if p.State() == pilot.PilotActive {
+					if winner == nil {
+						winner = p
+					}
+				} else if dead++; dead == len(rs.pilots) {
+					winner = nil // all failed: release the waiter empty-handed
+				} else {
+					return
+				}
+				first.Fire() // idempotent
+			})
+		}
+		first.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+	}
+	if winner == nil {
+		return fmt.Errorf("core: every pilot failed before activation")
+	}
+	queueWait := winner.QueueWait()
 	rs.mu.Lock()
 	rs.queueWait = queueWait
 	rs.agentStartup = v.Now() - t0 - queueWait

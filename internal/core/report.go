@@ -43,6 +43,12 @@ type PilotUtilization struct {
 	Units int
 	// CoreBusy is the core-weighted execution time those units consumed.
 	CoreBusy time.Duration
+	// QueueWait is this pilot's own batch queue wait (zero if it never
+	// activated). Under the default wait-all gate every pilot's wait has
+	// elapsed before the campaign starts; with ResourceSet.EagerSubmit
+	// the per-pilot waits diverge from the campaign-level QueueWait,
+	// which then reports only the earliest pilot's.
+	QueueWait time.Duration
 	// Utilization is CoreBusy over the pilot's capacity for the
 	// campaign span (cores × campaign TTC), in [0, 1] up to launcher
 	// and staging slack.

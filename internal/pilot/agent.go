@@ -2,7 +2,6 @@ package pilot
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,10 +12,16 @@ import (
 
 // agent is the pilot's on-resource component: it owns the allocation's
 // cores and schedules compute units onto them at the application level.
-// Units wait in a pending FIFO; submissions and completions trigger a
-// continuous-scheduling pass that places whichever pending units fit.
+// Units wait in a pending queue (pendq.go: segmented per-class buckets,
+// or the seed's flat FIFO as the selectable reference); submissions and
+// completions trigger a continuous-scheduling pass that places
+// whichever pending units fit. Each agent owns its queue outright, so a
+// multi-pilot ResourceSet's pending work is sharded per pilot: the
+// WaveBatcher's per-pilot bulk runs land in disjoint queues and the
+// pilots schedule independently.
 //
-// The pass is incremental (see sched.go for the placement index):
+// The pass is incremental (see sched.go for the placement index and
+// pendq.go for the queue):
 //
 //   - a pending-need watermark (minNeedAny/minNeedMPI) lets completion
 //     events skip the pass entirely when no pending unit can fit the
@@ -25,8 +30,11 @@ import (
 //     events only mark the queue dirty, and the running pass loops until
 //     clean, so one pass services many same-instant completions;
 //   - within a pass, an O(1) feasibility precheck (against the free-core
-//     index) rejects units without touching the node state, and the pass
-//     stops early once no free core remains.
+//     index) rejects units without touching the node state — and, on the
+//     segmented queue, blocks the unit's whole placement class for the
+//     rest of the pass — and the pass stops early once no free core
+//     remains, resuming at the bucket cursors instead of rescanning the
+//     placed prefix.
 //
 // Queue discipline per placement policy: FirstFit and BestFit schedule
 // continuously — units are tried in FIFO order and any unit that fits
@@ -50,7 +58,7 @@ type agent struct {
 
 	mu      sync.Mutex
 	sched   scheduler
-	pending []*ComputeUnit
+	pend    pendingQueue
 	started bool
 	stopped bool
 	stopErr error
@@ -76,14 +84,14 @@ type agent struct {
 	idleMu sync.Mutex
 	idle   *execSlot
 
-	// minNeedAny/minNeedMPI are conservative watermarks (never above the
-	// true minimum) of pending core needs: minNeedAny over all pending
-	// units, minNeedMPI over pending MPI units only. A completion whose
-	// freed capacity cannot satisfy either watermark skips the pass. They
-	// are tightened on submit and recomputed exactly by any pass that
-	// scans the whole queue.
-	minNeedAny int
-	minNeedMPI int
+	// passCount/passScanned/passPlaced instrument the scheduling passes
+	// (under mu): passes run, units yielded by the queue, units placed.
+	// Together with the queue's own work counter they let the pass-cost
+	// regression tests pin that per-placed-unit work is independent of
+	// backlog depth.
+	passCount   uint64
+	passScanned uint64
+	passPlaced  uint64
 
 	// runEnds (Backfill policy only) tracks each running unit's projected
 	// completion — placement time + launch latency + cost-model duration —
@@ -138,12 +146,11 @@ func newAgent(p *ComputePilot) *agent {
 		width = nNodes
 	}
 	a := &agent{
-		pilot:      p,
-		sess:       p.sess,
-		launch:     vclock.NewSemaphore(p.sess.V, fmt.Sprintf("launcher pilot %d", p.ID), width),
-		sched:      newScheduler(nodes, p.sess.Cfg.Agent, p.sess.Cfg.Rescan),
-		minNeedAny: math.MaxInt,
-		minNeedMPI: math.MaxInt,
+		pilot:  p,
+		sess:   p.sess,
+		launch: vclock.NewSemaphore(p.sess.V, fmt.Sprintf("launcher pilot %d", p.ID), width),
+		sched:  newScheduler(nodes, p.sess.Cfg.Agent, p.sess.Cfg.Rescan),
+		pend:   newPendingQueue(p.sess.Cfg.PendingRef),
 	}
 	if p.sess.Cfg.Agent == Backfill {
 		a.runEnds = make(map[*ComputeUnit]runInfo)
@@ -169,8 +176,7 @@ func (a *agent) stop(cause error) {
 	a.stopped = true
 	a.stoppedFlag.Store(true)
 	a.stopErr = cause
-	doomed := a.pending
-	a.pending = nil
+	doomed := a.pend.drain()
 	a.mu.Unlock()
 	// Drain the idle executor pool: closing each slot releases its
 	// parked (clock-detached) worker goroutine. stoppedFlag is already
@@ -196,7 +202,6 @@ func (a *agent) submit(u *ComputeUnit) {
 		return
 	}
 	u.setState(UnitQueued)
-	need := u.Desc.Cores
 	a.mu.Lock()
 	if a.stopped {
 		cause := a.stopErr
@@ -204,13 +209,7 @@ func (a *agent) submit(u *ComputeUnit) {
 		u.finish(UnitFailed, cause)
 		return
 	}
-	a.pending = append(a.pending, u)
-	if need < a.minNeedAny {
-		a.minNeedAny = need
-	}
-	if u.Desc.MPI && need < a.minNeedMPI {
-		a.minNeedMPI = need
-	}
+	a.pend.push(u)
 	if !a.started {
 		a.mu.Unlock()
 		return
@@ -279,15 +278,8 @@ func (a *agent) submitBatch(us []*ComputeUnit) {
 		}
 		return
 	}
-	a.pending = append(a.pending, queued...)
 	for _, u := range queued {
-		need := u.Desc.Cores
-		if need < a.minNeedAny {
-			a.minNeedAny = need
-		}
-		if u.Desc.MPI && need < a.minNeedMPI {
-			a.minNeedMPI = need
-		}
+		a.pend.push(u)
 	}
 	if !a.started {
 		a.mu.Unlock()
@@ -301,20 +293,18 @@ func (a *agent) submitBatch(us []*ComputeUnit) {
 	a.runPasses() // unlocks
 }
 
-// cancelQueued removes a unit from the pending list if still there.
+// cancelQueued removes a unit from the pending queue if still there —
+// an O(1) tombstone on the segmented queue (the seed reference keeps
+// its linear splice), so cancelling under a deep backlog never touches
+// unrelated entries.
 func (a *agent) cancelQueued(u *ComputeUnit) {
 	a.mu.Lock()
-	for i, q := range a.pending {
-		if q == u {
-			a.pending = append(a.pending[:i], a.pending[i+1:]...)
-			// Watermarks may now be lower than the true minimum; that is
-			// safe (at worst one extra pass recomputes them).
-			a.mu.Unlock()
-			u.finish(UnitCanceled, nil)
-			return
-		}
-	}
+	ok := a.pend.cancel(u)
 	a.mu.Unlock()
+	if ok {
+		u.finish(UnitCanceled, nil)
+		return
+	}
 	// Not pending: either executing (runs to completion, finish() maps
 	// Done to Canceled via the unit's canceled flag) or already final.
 }
@@ -323,13 +313,21 @@ func (a *agent) cancelQueued(u *ComputeUnit) {
 func (a *agent) load() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.pending) + a.running
+	return a.pend.size() + a.running
 }
 
 // fitPossible reports whether any pending unit could be placed right now,
-// per the watermarks. Caller holds mu.
+// per the queue's watermarks. Caller holds mu.
 func (a *agent) fitPossible() bool {
-	return a.minNeedAny <= a.sched.maxNodeFree() || a.minNeedMPI <= a.sched.freeCores()
+	return a.pend.minNeedAny() <= a.sched.maxNodeFree() || a.pend.minNeedMPI() <= a.sched.freeCores()
+}
+
+// passStats snapshots the pass-cost counters (tests): passes run, units
+// yielded, units placed, and the queue's cumulative internal work.
+func (a *agent) passStats() (passes, scanned, placed, queueWork uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.passCount, a.passScanned, a.passPlaced, a.pend.work()
 }
 
 // schedule requests a scheduling pass, coalescing with a running one.
@@ -366,7 +364,7 @@ func (a *agent) release(lr launchReq) (launchReq, bool) {
 	if a.runEnds != nil {
 		delete(a.runEnds, lr.u)
 	}
-	if !a.started || a.stopped || len(a.pending) == 0 || !a.fitPossible() {
+	if !a.started || a.stopped || a.pend.size() == 0 || !a.fitPossible() {
 		a.mu.Unlock()
 		return launchReq{}, false
 	}
@@ -465,47 +463,50 @@ func (a *agent) runPassesTakeOne() (launchReq, bool) {
 }
 
 // passLocked performs one continuous-scheduling pass over the pending
-// FIFO, returning the placements decided. Caller holds mu; the returned
-// slice is agent-owned scratch, valid until the next pass.
+// queue, returning the placements decided. Caller holds mu for the
+// whole pass (so the queue's pass cursors see no interleaved mutation);
+// the returned slice is agent-owned scratch, valid until the next pass.
 func (a *agent) passLocked() []launchReq {
 	if a.sched.freeCores() == 0 {
 		// Saturated: nothing can be placed, leave the queue untouched.
 		// (Never-placeable units cannot be in it: submit rejects them.)
 		return nil
 	}
-	pending := a.pending
-	remaining := pending[:0]
 	launches := a.scratch[:0]
 	m := a.pilot.backend.machine
 	backfill := a.sess.Cfg.Agent == Backfill
-	minAny, minMPI := math.MaxInt, math.MaxInt
-	full := true // whether the scan covered every pending unit
 
 	// Backfill reservation state: set once the FIFO head blocks.
 	blocked := false
 	var shadow time.Duration // head's earliest possible start
 	var extra int            // cores spare at the shadow time
 
-	for i, u := range pending {
-		if a.sched.freeCores() == 0 {
-			// Nothing more can be placed this pass; keep the tail as is.
-			// The watermarks stay conservative: the tail's minima were
-			// already folded in by submit or an earlier full pass.
-			remaining = append(remaining, pending[i:]...)
-			if a.minNeedAny < minAny {
-				minAny = a.minNeedAny
-			}
-			if a.minNeedMPI < minMPI {
-				minMPI = a.minNeedMPI
-			}
-			full = false
+	q := a.pend
+	a.passCount++
+	q.beginPass()
+	for a.sched.freeCores() > 0 {
+		u := q.next()
+		if u == nil {
 			break
 		}
+		a.passScanned++
 		need := u.Desc.Cores
 		// O(1) feasibility precheck against the index, then the EASY
 		// reservation, then the actual placement.
 		fits := need <= a.sched.maxNodeFree() || (u.Desc.MPI && need <= a.sched.freeCores())
-		if fits && backfill && blocked {
+		if !fits {
+			// The precheck depends only on the unit's placement class
+			// (need × MPI) and on free capacity, which never grows within
+			// a pass — so every later unit of this class fails it too,
+			// and the segmented queue stops consulting the whole bucket.
+			if backfill && !blocked {
+				blocked = true
+				shadow, extra = a.reservationLocked(need)
+			}
+			q.block()
+			continue
+		}
+		if backfill && blocked {
 			// The blocked head holds a reservation: this unit may jump it
 			// only if it cannot delay the head's shadow-time start —
 			// either it is predicted to finish before the shadow time
@@ -521,43 +522,39 @@ func (a *agent) passLocked() []launchReq {
 				ok = true
 				extra -= need
 			}
-			fits = ok
-		}
-		if fits {
-			alloc, ok := a.sched.tryPlace(need, u.Desc.MPI)
-			if ok {
-				a.running++
-				if a.runEnds != nil {
-					end := a.sess.V.Now() + m.TaskLaunchLatency
-					if dur, err := a.predictLocked(u); err == nil {
-						end += dur
-					}
-					a.runEnds[u] = runInfo{end: end, cores: need}
-				}
-				launches = append(launches, launchReq{u, alloc})
+			if !ok {
+				// The gate is per-unit — predicted durations differ
+				// within a placement class — so only this unit waits;
+				// its classmates still get their own gate check.
+				q.skip()
 				continue
 			}
 		}
-		remaining = append(remaining, u)
-		if need < minAny {
-			minAny = need
+		alloc, ok := a.sched.tryPlace(need, u.Desc.MPI)
+		if !ok {
+			// Defensive (the precheck implies placement succeeds on both
+			// scheduler implementations): keep just this unit, claiming
+			// no class-wide knowledge.
+			if backfill && !blocked {
+				blocked = true
+				shadow, extra = a.reservationLocked(need)
+			}
+			q.skip()
+			continue
 		}
-		if u.Desc.MPI && need < minMPI {
-			minMPI = need
+		a.running++
+		if a.runEnds != nil {
+			end := a.sess.V.Now() + m.TaskLaunchLatency
+			if dur, err := a.predictLocked(u); err == nil {
+				end += dur
+			}
+			a.runEnds[u] = runInfo{end: end, cores: need}
 		}
-		if backfill && !blocked {
-			blocked = true
-			shadow, extra = a.reservationLocked(need)
-		}
+		launches = append(launches, launchReq{u, alloc})
+		q.placed()
 	}
-
-	a.pending = remaining
-	if full || minAny < a.minNeedAny {
-		a.minNeedAny = minAny
-	}
-	if full || minMPI < a.minNeedMPI {
-		a.minNeedMPI = minMPI
-	}
+	q.endPass()
+	a.passPlaced += uint64(len(launches))
 	a.scratch = launches
 	return launches
 }

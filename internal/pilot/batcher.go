@@ -59,6 +59,41 @@ func (b *WaveBatcher) UnitManager() *UnitManager { return b.um }
 // late-bind and dispatch. It must be called from a registered vclock
 // process and returns the units in description order.
 func (b *WaveBatcher) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
+	units, err := b.join(descs)
+	if err != nil {
+		return nil, err
+	}
+	// Client-side creation/serialization cost for this wave — each
+	// member of a round pays its own, concurrently with the others.
+	b.um.sess.V.Sleep(time.Duration(len(units)) * b.um.sess.Cfg.UMSubmitPerUnit)
+	b.um.Dispatch(units)
+	return units, nil
+}
+
+// SubmitStreamed is UnitManager.SubmitStreamed through the shared
+// batcher: the wave joins the same creation rounds as bulk waves — all
+// waves arriving at one virtual instant are created under one umgr
+// bracket — and then dispatches each unit individually as its own
+// client-side cost elapses. Every unit still reaches its pilot at
+// exactly the instant of an unbatched streamed submission (unit i at
+// arrival + (i+1) × UMSubmitPerUnit, late-bound at that instant), so
+// the coalescing changes only the wall-clock shape: shared admission
+// and creation, fewer umgr brackets. Gated by the streamed-leg
+// timeline-neutrality test.
+func (b *WaveBatcher) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, error) {
+	units, err := b.join(descs)
+	if err != nil {
+		return nil, err
+	}
+	b.um.DispatchStreamed(units)
+	return units, nil
+}
+
+// join validates descs and runs the round machinery: the wave's units
+// are created together with every other wave enqueued at this instant,
+// under one umgr bracket per drain round. It returns the created units
+// in description order, with no virtual time elapsed.
+func (b *WaveBatcher) join(descs []UnitDescription) ([]*ComputeUnit, error) {
 	// Validate before joining a round, so a malformed wave creates no
 	// units, brackets no wave, and poisons no round (matching
 	// UnitManager.Submit); the leader then creates units without a
@@ -99,17 +134,5 @@ func (b *WaveBatcher) Submit(descs []UnitDescription) ([]*ComputeUnit, error) {
 		b.leading = false
 		b.mu.Unlock()
 	}
-	// Client-side creation/serialization cost for this wave — each
-	// member of a round pays its own, concurrently with the others.
-	v.Sleep(time.Duration(len(w.units)) * b.um.sess.Cfg.UMSubmitPerUnit)
-	b.um.Dispatch(w.units)
 	return w.units, nil
-}
-
-// SubmitStreamed forwards to the unit manager's streaming path
-// unbatched: a streamed wave dispatches its units one by one as their
-// individual costs elapse, so there is no whole-wave creation point to
-// coalesce.
-func (b *WaveBatcher) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, error) {
-	return b.um.SubmitStreamed(descs)
 }

@@ -8,6 +8,97 @@ import (
 	"entk/internal/vclock"
 )
 
+// batcherStreamedWorkload runs three concurrent streamed waves of
+// distinct widths through either the batcher's streamed path or the raw
+// unit manager's, on a fresh session, and returns each wave's unit exec
+// windows in sorted order plus the umgr wave count.
+func batcherStreamedWorkload(t *testing.T, batched bool) ([][][2]time.Duration, int) {
+	t.Helper()
+	v := vclock.NewVirtual()
+	s := testSession(t, v)
+	um := NewUnitManager(s)
+	b := NewWaveBatcher(um)
+	widths := []int{3, 5, 9}
+	windows := make([][][2]time.Duration, len(widths))
+	v.Run(func() {
+		_, p := startPilot(t, s, 32)
+		um.AddPilot(p)
+		wg := vclock.NewWaitGroup(v, "submitters")
+		for w, width := range widths {
+			w, width := w, width
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				descs := make([]UnitDescription, width)
+				for i := range descs {
+					descs[i] = sleepUnit("s"+pad2(w, i), float64(1+w))
+				}
+				var units []*ComputeUnit
+				var err error
+				if batched {
+					units, err = b.SubmitStreamed(descs)
+				} else {
+					units, err = um.SubmitStreamed(descs)
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, u := range units {
+					if st := u.WaitFinal(); st != UnitDone {
+						t.Errorf("wave %d unit %s final state %v", w, u.Entity(), st)
+					}
+					start, stop, ok := u.ExecWindow()
+					if !ok {
+						t.Errorf("wave %d unit %s never executed", w, u.Entity())
+					}
+					windows[w] = append(windows[w], [2]time.Duration{start, stop})
+				}
+			})
+		}
+		wg.Wait()
+		p.Cancel()
+		p.WaitFinal()
+	})
+	for w := range windows {
+		sort.Slice(windows[w], func(i, j int) bool {
+			if windows[w][i][0] != windows[w][j][0] {
+				return windows[w][i][0] < windows[w][j][0]
+			}
+			return windows[w][i][1] < windows[w][j][1]
+		})
+	}
+	return windows, um.Waves()
+}
+
+// TestBatcherStreamedTimelineNeutral gates the streamed leg of the
+// batcher: a streamed wave joining the shared creation rounds must not
+// perturb the simulated timeline. Each unit still dispatches at its own
+// per-unit cost deadline, so every exec window must match the unbatched
+// streamed run exactly — only the umgr wave-bracket count may shrink
+// (same-instant streamed waves share a round).
+func TestBatcherStreamedTimelineNeutral(t *testing.T) {
+	batched, batchedWaves := batcherStreamedWorkload(t, true)
+	plain, plainWaves := batcherStreamedWorkload(t, false)
+	for w := range plain {
+		if len(batched[w]) != len(plain[w]) {
+			t.Fatalf("wave %d: %d units batched vs %d unbatched", w, len(batched[w]), len(plain[w]))
+		}
+		for i := range plain[w] {
+			if batched[w][i] != plain[w][i] {
+				t.Errorf("wave %d unit %d exec window diverges: batched %v, unbatched %v",
+					w, i, batched[w][i], plain[w][i])
+			}
+		}
+	}
+	if plainWaves != 3 {
+		t.Errorf("unbatched run recorded %d umgr waves, want 3", plainWaves)
+	}
+	if batchedWaves < 1 || batchedWaves > plainWaves {
+		t.Errorf("batched run recorded %d umgr waves, want 1..%d", batchedWaves, plainWaves)
+	}
+}
+
 // batcherWorkload runs three concurrent bulk waves of distinct widths
 // through submit (either the batcher or the raw unit manager) on a
 // fresh session, and returns each wave's unit exec windows in sorted

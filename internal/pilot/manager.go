@@ -185,19 +185,39 @@ func (um *UnitManager) SubmitStreamed(descs []UnitDescription) ([]*ComputeUnit, 
 		units = append(units, u)
 		// Client-side creation/serialization cost for this one unit.
 		um.sess.V.Sleep(perUnit)
-		u.setState(UnitScheduling)
-		p, err := um.pick(&u.Desc)
-		if err != nil {
-			u.finish(UnitFailed, err)
-			continue
-		}
-		u.mu.Lock()
-		u.pilot = p
-		u.mu.Unlock()
-		um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evUmgrBound)
-		p.agent.submit(u)
+		um.dispatchOne(u)
 	}
 	return units, nil
+}
+
+// dispatchOne late-binds one created unit and hands it to its pilot's
+// agent — the per-unit dispatch step shared by the streamed paths.
+func (um *UnitManager) dispatchOne(u *ComputeUnit) {
+	u.setState(UnitScheduling)
+	p, err := um.pick(&u.Desc)
+	if err != nil {
+		u.finish(UnitFailed, err)
+		return
+	}
+	u.mu.Lock()
+	u.pilot = p
+	u.mu.Unlock()
+	um.sess.Prof.RecordID(u.entityID, um.sess.vocab.evUmgrBound)
+	p.agent.submit(u)
+}
+
+// DispatchStreamed late-binds already-created units one at a time, each
+// after its own client-side cost has elapsed — the dispatch half of
+// SubmitStreamed, used by the wave batcher once a streamed wave's units
+// were created in a shared round. Unit i is picked and submitted at
+// exactly the instant the unbatched streamed path would dispatch it.
+// Must be called from a registered vclock process.
+func (um *UnitManager) DispatchStreamed(units []*ComputeUnit) {
+	perUnit := um.sess.Cfg.UMSubmitPerUnit
+	for _, u := range units {
+		um.sess.V.Sleep(perUnit)
+		um.dispatchOne(u)
+	}
 }
 
 // createValidated creates units for already-validated descriptions

@@ -102,6 +102,13 @@ type Config struct {
 	// (profile.LayoutRef) kept as the reference implementation for the
 	// layout-parity tests — the profiler analogue of Rescan.
 	ProfLayout profile.Layout
+	// PendingRef selects the seed's flat compacting pending FIFO inside
+	// the agents instead of the segmented per-class queue. The two
+	// produce identical placements and identical simulated time; the
+	// FIFO path is kept as the reference implementation for the
+	// queue-parity tests (see pendq.go) — the pending-queue analogue of
+	// Rescan.
+	PendingRef bool
 }
 
 // DefaultConfig returns the configuration used for the paper

@@ -164,6 +164,14 @@ type ComputeUnit struct {
 	stopped  time.Duration // exec stop (virtual)
 	finalEv  vclock.Event  // embedded: one allocation per unit, not two
 	canceled bool          // cancellation requested
+
+	// pendIn/pendTomb are the segmented pending queue's bookkeeping
+	// (pendq.go), guarded by the owning agent's mu — NOT by u.mu: pendIn
+	// marks the unit live in its agent's queue; pendTomb marks a
+	// cancelled entry whose queue slot is reclaimed lazily by the next
+	// pass cursor that walks over it.
+	pendIn   bool
+	pendTomb bool
 }
 
 func newUnit(s *Session, desc UnitDescription) *ComputeUnit {

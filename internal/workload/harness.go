@@ -51,6 +51,23 @@ var DefaultProfLayout = profile.LayoutColumnar
 // figure or stress result.
 var DefaultExec = core.ExecGraph
 
+// DefaultPendingRef selects the agent's pending-queue implementation:
+// false is the segmented queue, true the seed's flat compacting FIFO
+// kept as the reference (pilot.Config.PendingRef). The queue-parity
+// legs flip it to prove the segmented queue changes no figure or
+// stress result.
+var DefaultPendingRef = false
+
+// WithPendingRef runs fn with DefaultPendingRef set to ref and restores
+// the previous value before returning — the pending-queue analogue of
+// WithProfLayout.
+func WithPendingRef(ref bool, fn func() error) error {
+	prev := DefaultPendingRef
+	DefaultPendingRef = ref
+	defer func() { DefaultPendingRef = prev }()
+	return fn()
+}
+
 // WithExecPath runs fn with DefaultExec set to e and restores the
 // previous path before returning — the executor analogue of
 // WithProfLayout.
@@ -84,6 +101,7 @@ func runOnFreshClockEngine(resource string, cores int, eng vclock.Engine, build 
 	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.ProfLayout = DefaultProfLayout
+	rcfg.PendingRef = DefaultPendingRef
 	h, err := core.NewResourceHandle(resource, cores, 10000*time.Hour,
 		core.Config{Clock: v, Exec: DefaultExec, Runtime: rcfg})
 	if err != nil {

@@ -135,6 +135,7 @@ func stressCampaignOn(machine string, cores int, plan []StressMixedPipeline, eng
 	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.ProfLayout = DefaultProfLayout
+	rcfg.PendingRef = DefaultPendingRef
 	h, err := core.NewResourceHandle(machine, cores, 10000*time.Hour,
 		core.Config{Clock: v, Exec: DefaultExec, Runtime: rcfg})
 	if err != nil {

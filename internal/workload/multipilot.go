@@ -78,6 +78,7 @@ func MultiPilotCampaignOn(plan []StressMixedPipeline, eng vclock.Engine) (*Multi
 	v := vclock.NewVirtualEngine(eng)
 	rcfg := pilot.DefaultConfig()
 	rcfg.ProfLayout = DefaultProfLayout
+	rcfg.PendingRef = DefaultPendingRef
 	rs, err := core.NewResourceSet([]core.PilotSpec{
 		{Resource: MultiPilotCPUMachine, Cores: MultiPilotCPUCores, Walltime: 10000 * time.Hour, Tags: []string{"cpu"}},
 		{Resource: MultiPilotMPIMachine, Cores: MultiPilotMPICores, Walltime: 10000 * time.Hour, Tags: []string{"mpi"}},

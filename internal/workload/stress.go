@@ -63,6 +63,7 @@ func runThroughputWorkload(rescan bool, eng vclock.Engine) (*core.ResourceHandle
 	rcfg := pilot.DefaultConfig()
 	rcfg.Rescan = rescan
 	rcfg.ProfLayout = DefaultProfLayout
+	rcfg.PendingRef = DefaultPendingRef
 	h, err := core.NewResourceHandle("xsede.stampede", ThroughputCores, 1000*time.Hour,
 		core.Config{Clock: v, Exec: DefaultExec, Runtime: rcfg})
 	if err != nil {
@@ -473,40 +474,56 @@ func (r *Stress100kResult) Check() error {
 	return nil
 }
 
-// Stress1MSize is the guarded 1M-task probe's ensemble width: a 10x
-// step past the 100k tier on the same sim.stress64k machine (16 full
-// scheduling waves), run only on demand — BenchmarkStress1M gates on
-// ENTK_STRESS_1M=1 and entk-bench records it behind -stress1m — because
-// a run allocates on the order of a gigabyte.
+// Stress1MSize is the 1M-task tier's ensemble width: a 10x step past
+// the 100k tier on the same sim.stress64k machine (16 full scheduling
+// waves). Since the segmented pending queue removed the O(pending)
+// scheduling-pass collapse, the tier runs unguarded in the benchmark
+// matrix (BenchmarkStress1M); entk-bench records it behind -stress1m.
 const Stress1MSize = 1 << 20
 
-// Stress1MProbe runs the 1M-task sweep point and applies its own looser
-// golden checks: exact task and overhead accounting (these never
-// loosen), the unchanged queue-wait model, and the 16-wave execution
-// span with per-wave launcher-stagger slack (the 100k tier's fixed 5s
-// slack is a single-digit-wave bound).
-func Stress1MProbe() (*Stress100kResult, error) {
-	res, err := Stress100k([]int{Stress1MSize})
+// Stress10MSize is the guarded 10M-task probe's ensemble width: one
+// more 10x step (160 full scheduling waves), gated behind
+// ENTK_STRESS_10M=1 / entk-bench -stress10m because a run holds a
+// multi-gigabyte live heap. It exists to show the segmented pending
+// queue's per-unit cost stays flat one order of magnitude past the
+// 1M wall the seed FIFO collapsed at.
+const Stress10MSize = 10 << 20
+
+// Stress1MProbe runs the 1M-task sweep point and applies the probe
+// checks below.
+func Stress1MProbe() (*Stress100kResult, error) { return stressProbe("1m", Stress1MSize) }
+
+// Stress10MProbe runs the 10M-task sweep point and applies the probe
+// checks below.
+func Stress10MProbe() (*Stress100kResult, error) { return stressProbe("10m", Stress10MSize) }
+
+// stressProbe runs one guarded many-wave sweep point and applies looser
+// golden checks than the 100k tier: exact task and overhead accounting
+// (these never loosen), the unchanged queue-wait model, and the
+// execution span with per-wave launcher-stagger slack (the 100k tier's
+// fixed 5s slack is a single-digit-wave bound).
+func stressProbe(label string, size int) (*Stress100kResult, error) {
+	res, err := Stress100k([]int{size})
 	if err != nil {
 		return nil, err
 	}
 	w := res.Rows[0]
-	if w.Tasks != Stress1MSize {
-		return nil, fmt.Errorf("stress 1m: ran %d tasks, want %d", w.Tasks, Stress1MSize)
+	if w.Tasks != size {
+		return nil, fmt.Errorf("stress %s: ran %d tasks, want %d", label, w.Tasks, size)
 	}
 	perUnit := pilot.DefaultConfig().UMSubmitPerUnit.Seconds()
 	wantOvh := float64(w.Tasks) * perUnit
 	if math.Abs(w.PatternOvhSec-wantOvh) > 1e-6*wantOvh+1e-9 {
-		return nil, fmt.Errorf("stress 1m: pattern overhead %.3fs, want exactly %.3fs", w.PatternOvhSec, wantOvh)
+		return nil, fmt.Errorf("stress %s: pattern overhead %.3fs, want exactly %.3fs", label, w.PatternOvhSec, wantOvh)
 	}
-	waves := float64((Stress1MSize + Stress100kCores - 1) / Stress100kCores)
+	waves := float64((size + Stress100kCores - 1) / Stress100kCores)
 	wantExec := waves * stress100kSeconds
 	if w.ExecSec < wantExec || w.ExecSec > wantExec+5*waves {
-		return nil, fmt.Errorf("stress 1m: exec %.1fs, want ~%.1fs (%v waves)", w.ExecSec, wantExec, waves)
+		return nil, fmt.Errorf("stress %s: exec %.1fs, want ~%.1fs (%v waves)", label, w.ExecSec, wantExec, waves)
 	}
 	if w.TTCSec < w.ExecSec+w.PatternOvhSec {
-		return nil, fmt.Errorf("stress 1m: TTC %.1fs < exec %.1fs + overhead %.1fs",
-			w.TTCSec, w.ExecSec, w.PatternOvhSec)
+		return nil, fmt.Errorf("stress %s: TTC %.1fs < exec %.1fs + overhead %.1fs",
+			label, w.TTCSec, w.ExecSec, w.PatternOvhSec)
 	}
 	return res, nil
 }

@@ -138,6 +138,75 @@ func TestStress100kLayoutParity(t *testing.T) {
 	}
 }
 
+// TestStress100kPendingQueueParity runs one 100k-tier point on both
+// pending-queue implementations and asserts the simulated columns are
+// byte-identical — the stress-tier leg of the queue-parity suite,
+// proving the segmented queue changes no measured quantity at the scale
+// it was built for (and, transitively, that the BENCH columns recorded
+// by earlier PRs are preserved).
+func TestStress100kPendingQueueParity(t *testing.T) {
+	skip100k(t)
+	sizes := []int{102400}
+	runWith := func(ref bool) *Stress100kResult {
+		var res *Stress100kResult
+		err := WithPendingRef(ref, func() error {
+			var err error
+			res, err = Stress100k(sizes)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seg := runWith(false)
+	fifo := runWith(true)
+	if !reflect.DeepEqual(seg.SimColumns(), fifo.SimColumns()) {
+		t.Errorf("sim columns diverge between pending queues:\nsegmented:\n%s\nreference:\n%s",
+			seg.Table(), fifo.Table())
+	}
+	if err := seg.Check(); err != nil {
+		t.Errorf("segmented: %v\n%s", err, seg.Table())
+	}
+	if err := fifo.Check(); err != nil {
+		t.Errorf("reference: %v\n%s", err, fifo.Table())
+	}
+}
+
+// TestStressPendingQueueParityFigureChecks is the cheap in-short leg of
+// the queue parity: the 10k-tier 512-point rows must agree between the
+// segmented queue and the seed FIFO reference up to wall-clock columns.
+func TestStressPendingQueueParityFigureChecks(t *testing.T) {
+	runWith := func(ref bool) *StressEoPResult {
+		var res *StressEoPResult
+		err := WithPendingRef(ref, func() error {
+			var err error
+			res, err = StressEoP([]int{512})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seg := runWith(false)
+	fifo := runWith(true)
+	for i := range seg.Rows {
+		a, b := seg.Rows[i], fifo.Rows[i]
+		a.WallMS, b.WallMS = 0, 0
+		a.UnitsPerSecWall, b.UnitsPerSecWall = 0, 0
+		if a != b {
+			t.Errorf("row %d diverges between pending queues:\nsegmented: %+v\nreference: %+v", i, a, b)
+		}
+	}
+	if err := seg.Check(); err != nil {
+		t.Errorf("segmented: %v", err)
+	}
+	if err := fifo.Check(); err != nil {
+		t.Errorf("reference: %v", err)
+	}
+}
+
 // TestStress100kSmoke keeps a half-machine 100k-tier point runnable
 // everywhere (both engines, no skips beyond -short): the CI smoke row.
 func TestStress100kSmoke(t *testing.T) {

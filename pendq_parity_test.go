@@ -1,0 +1,106 @@
+package entk_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"entk"
+)
+
+// pendLeg is one cell of the pending-queue parity matrix: a clock
+// engine, an agent scheduler, an executor path, and a workload shape.
+type pendLeg struct {
+	name     string
+	eng      entk.ClockEngine
+	rescan   bool
+	exec     entk.ExecPath
+	backfill bool
+	mixed    bool // heterogeneous core counts and MPI flags
+}
+
+// runPendParity executes the pending-queue parity workload on one leg
+// with the selected queue implementation: a 1024-unit single-stage
+// ensemble on a 1024-core Stampede pilot, homogeneous by default, or a
+// four-class mix (1/4-core, serial/MPI) on the backfill leg so units of
+// different placement classes genuinely interleave in the queue.
+func runPendParity(t *testing.T, pendingRef bool, l pendLeg) *entk.Report {
+	t.Helper()
+	v := entk.NewClockEngine(l.eng)
+	rcfg := entk.DefaultRuntimeConfig()
+	rcfg.Rescan = l.rescan
+	rcfg.PendingRef = pendingRef
+	if l.backfill {
+		rcfg.Agent = entk.AgentBackfill
+	}
+	h, err := entk.NewResourceHandle("xsede.stampede", 1024, 1000*time.Hour,
+		entk.Config{Clock: v, Exec: l.exec, Runtime: rcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernel := func(p, _ int) *entk.Kernel {
+		k := &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 5}}
+		if l.mixed {
+			// Four placement classes, interleaved by pipeline index, with
+			// durations that differ within a class so the backfill EASY
+			// gate takes per-unit decisions.
+			k.Params["seconds"] = float64(3 + p%7)
+			switch p % 4 {
+			case 1:
+				k.Cores, k.MPI = 4, true
+			case 3:
+				k.Cores, k.MPI = 2, true
+			}
+		}
+		return k
+	}
+	var rep *entk.Report
+	var runErr error
+	v.Run(func() {
+		rep, runErr = h.Execute(&entk.EnsembleOfPipelines{
+			Pipelines:   1024,
+			Stages:      1,
+			StageKernel: kernel,
+		})
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return rep
+}
+
+// TestPendingQueueReportParity is the segmented-pending-queue regression
+// gate, the queue-level analogue of TestIndexedSchedulerReportParity:
+// the segmented queue must be a wall-time optimisation only. On every
+// engine × agent-scheduler × executor combination — including a
+// backfill leg whose mixed core counts and MPI flags spread the queue
+// across placement classes — the same ensemble must produce a report
+// bit-identical to the seed FIFO reference (Config.PendingRef), or the
+// queue rebuild changed simulated behaviour, not just speed.
+func TestPendingQueueReportParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pending-queue parity skipped in -short mode (reference legs are slow by design)")
+	}
+	legs := []pendLeg{
+		{name: "handoff/indexed/graph", eng: entk.EngineHandoff, exec: entk.ExecGraph},
+		{name: "handoff/rescan/graph", eng: entk.EngineHandoff, rescan: true, exec: entk.ExecGraph},
+		{name: "handoff/indexed/ref", eng: entk.EngineHandoff, exec: entk.ExecRef},
+		{name: "ref/indexed/graph", eng: entk.EngineRef, exec: entk.ExecGraph},
+		{name: "handoff/indexed/graph/backfill-mixed", eng: entk.EngineHandoff,
+			exec: entk.ExecGraph, backfill: true, mixed: true},
+	}
+	for _, l := range legs {
+		l := l
+		t.Run(l.name, func(t *testing.T) {
+			ref := runPendParity(t, true, l)
+			seg := runPendParity(t, false, l)
+			if !reflect.DeepEqual(ref, seg) {
+				t.Errorf("reports diverge between pending queues:\nreference:\n%v\nsegmented:\n%v", ref, seg)
+			}
+			// Guard against the vacuous pass: the workload must have run.
+			if seg.Tasks != 1024 || seg.TTC <= 0 {
+				t.Errorf("parity workload did not run: tasks=%d ttc=%v", seg.Tasks, seg.TTC)
+			}
+		})
+	}
+}
