@@ -19,6 +19,10 @@
 //	entk-bench -multipilot     # the multi-pilot tier: two-machine
 //	                           # tag-affinity campaign with per-pilot
 //	                           # utilization columns
+//	entk-bench -faults         # the fault-recovery tier: the ~100k-task
+//	                           # campaign run clean and with a mid-wave
+//	                           # pilot kill + rebind (adds the faults
+//	                           # section to -json output)
 //	entk-bench -stress1m       # the 1M-task tier (adds the stress_1m
 //	                           # section to -json output)
 //	entk-bench -stress10m      # the guarded 10M-task probe (adds the
@@ -62,6 +66,7 @@ func main() {
 	stress := flag.Bool("stress", false, "run the stress tiers (10k EE/EoP + the 100k, mixed, oversubscribed, and multi-pilot tiers)")
 	graph := flag.Bool("graph", false, "run the graph tier: the mixed 100k campaign and the graph-vs-ref executor throughput A/B")
 	multipilot := flag.Bool("multipilot", false, "run the multi-pilot tier: the two-machine tag-affinity campaign with per-pilot utilization columns")
+	faults := flag.Bool("faults", false, "run the fault-recovery tier: the ~100k-task campaign clean vs mid-wave pilot kill + rebind (recorded in -json as faults)")
 	stress1m := flag.Bool("stress1m", false, "run the 1M-task tier (recorded in -json as stress_1m)")
 	stress10m := flag.Bool("stress10m", false, "run the guarded 10M-task probe (recorded in -json as stress_10m)")
 	profDump := flag.String("profdump", "", "run the unit-throughput workload and write its binary session trace to this file")
@@ -92,7 +97,7 @@ func main() {
 		defer stopProfile()
 	}
 
-	runAll := *fig == 0 && *ablation == "" && !*stress && !*graph && !*multipilot && !*stress1m && !*stress10m && *profDump == "" && *jsonPath == ""
+	runAll := *fig == 0 && *ablation == "" && !*stress && !*graph && !*multipilot && !*faults && !*stress1m && !*stress10m && *profDump == "" && *jsonPath == ""
 
 	figures := map[int]func() error{
 		3: func() error { return printFig3() },
@@ -158,10 +163,15 @@ func main() {
 	}
 
 	if *stress || *jsonPath != "" {
-		if err := runStress(*jsonPath, *stress1m, *stress10m); err != nil {
+		if err := runStress(*jsonPath, *stress1m, *stress10m, *faults); err != nil {
 			fatalf("entk-bench: stress: %v", err)
 		}
 	} else {
+		if *faults {
+			if _, err := runFaults(nil); err != nil {
+				fatalf("entk-bench: faults: %v", err)
+			}
+		}
 		if *stress1m {
 			if _, err := runStress1M(); err != nil {
 				fatalf("entk-bench: stress1m: %v", err)
@@ -173,6 +183,22 @@ func main() {
 			}
 		}
 	}
+}
+
+// runFaults runs the fault-recovery tier — the campaign clean and with a
+// mid-wave pilot kill — prints its table, and returns the result for
+// JSON recording. A nil plan runs the full 98304-task default.
+func runFaults(plan *workload.FaultTierPlan) (*workload.FaultTierResult, error) {
+	res, err := workload.FaultTier(plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Check(); err != nil {
+		return nil, err
+	}
+	fmt.Println("Faults: recovery tier, clean vs mid-wave pilot kill + rebind (two pilots, sim.stress64k)")
+	fmt.Println(res.Table())
+	return res, nil
 }
 
 // runMultiPilot runs the two-machine tag-affinity campaign, prints its
@@ -318,6 +344,18 @@ type multiPilotMetric struct {
 	Pilots    []workload.MultiPilotUtilRow  `json:"pilot_utilization"`
 }
 
+// faultsMetric is the fault-recovery tier's JSON section: the clean and
+// faulted runs of the same campaign plus the recovery overhead.
+type faultsMetric struct {
+	Machine             string               `json:"machine"`
+	PilotCores          int                  `json:"pilot_cores"`
+	Tasks               int                  `json:"tasks"`
+	KillAtSec           float64              `json:"kill_at_s"`
+	Clean               workload.FaultRunRow `json:"clean"`
+	Faulted             workload.FaultRunRow `json:"faulted"`
+	RecoveryOverheadSec float64              `json:"recovery_overhead_s"`
+}
+
 // benchMetrics is the schema of the BENCH_PR<N>.json trajectory files.
 type benchMetrics struct {
 	Generated         string                        `json:"generated"`
@@ -331,6 +369,7 @@ type benchMetrics struct {
 	Stress100kMixed   []workload.Stress100kMixedRow `json:"stress_100k_mixed"`
 	Stress100kOversub []workload.Stress100kMixedRow `json:"stress_100k_oversub"`
 	MultiPilot        *multiPilotMetric             `json:"multipilot,omitempty"`
+	Faults            *faultsMetric                 `json:"faults,omitempty"`
 	Stress1M          *stress1MMetric               `json:"stress_1m,omitempty"`
 	Stress10M         *stress1MMetric               `json:"stress_10m,omitempty"`
 }
@@ -363,7 +402,12 @@ const metricsNotes = "wall-clock numbers from the machine that generated this fi
 	"TestPendingQueueReportParity and the 100k sim columns are pinned byte-identical " +
 	"across queue implementations by TestStress100kPendingQueueParity); stress_10m is " +
 	"the guarded 10M-task probe (entk-bench -stress10m / BenchmarkStress10M behind " +
-	"ENTK_STRESS_10M=1, multi-gigabyte live heap)"
+	"ENTK_STRESS_10M=1, multi-gigabyte live heap); faults is the " +
+	"fault-recovery tier (entk-bench -faults): the same ~100k-task campaign run clean and " +
+	"with one of two pilots killed mid-wave-1 — unit rebinding (ResourceSet.Rebind) returns " +
+	"the in-flight units to the survivor, so both runs complete every task with zero " +
+	"retries and recovery_overhead_s = faulted ttc - clean ttc (one to two extra task " +
+	"waves; gated by FaultTierResult.Check and the -race fault matrix in internal/core)"
 
 // measureThroughput runs workload.PilotThroughputOn — the exact workload
 // BenchmarkPilotUnitThroughput times — `runs` times on the selected
@@ -417,7 +461,7 @@ func measureThroughput(eng vclock.Engine, rescan bool, layout profile.Layout, ex
 // runStress executes the stress tier, prints its tables, and (when
 // jsonPath is set) records the metrics file that tracks the perf
 // trajectory across PRs.
-func runStress(jsonPath string, with1M, with10M bool) error {
+func runStress(jsonPath string, with1M, with10M, withFaults bool) error {
 	eop, err := workload.StressEoP(nil)
 	if err != nil {
 		return err
@@ -473,6 +517,23 @@ func runStress(jsonPath string, with1M, with10M bool) error {
 		return err
 	}
 
+	var fm *faultsMetric
+	if withFaults {
+		fres, err := runFaults(nil)
+		if err != nil {
+			return err
+		}
+		fm = &faultsMetric{
+			Machine:             fres.Plan.Machine,
+			PilotCores:          fres.Plan.PilotCores,
+			Tasks:               fres.Plan.Tasks(),
+			KillAtSec:           fres.KillAtSec,
+			Clean:               fres.Clean,
+			Faulted:             fres.Faulted,
+			RecoveryOverheadSec: fres.RecoveryOverheadSec,
+		}
+	}
+
 	var probe *stress1MMetric
 	if with1M {
 		if probe, err = runStress1M(); err != nil {
@@ -519,6 +580,7 @@ func runStress(jsonPath string, with1M, with10M bool) error {
 		Stress100kMixed:   append(append([]workload.Stress100kMixedRow(nil), mixed.Pipelines...), mixed.Campaign),
 		Stress100kOversub: append(append([]workload.Stress100kMixedRow(nil), oversub.Pipelines...), oversub.Campaign),
 		MultiPilot:        &multiPilotMetric{Placement: mp.Placement, Rows: mpRows, Pilots: mpUtil},
+		Faults:            fm,
 		Stress1M:          probe,
 		Stress10M:         probe10,
 	}

@@ -63,6 +63,7 @@
 package entk
 
 import (
+	"io"
 	"time"
 
 	"entk/internal/core"
@@ -74,7 +75,7 @@ import (
 )
 
 // Version identifies this release of the toolkit reproduction.
-const Version = "1.2.0"
+const Version = "1.3.0"
 
 // Re-exported user-facing types. The implementations live in
 // internal/core (the toolkit) and internal supporting packages.
@@ -101,6 +102,18 @@ type (
 	// PilotUtilization is one pilot's share of a campaign
 	// (CampaignReport.Pilots).
 	PilotUtilization = core.PilotUtilization
+	// FaultPlan schedules deterministic failure injection against a
+	// resource set (ResourceSet.Faults).
+	FaultPlan = pilot.FaultPlan
+	// FaultSpec is one scheduled fault of a plan.
+	FaultSpec = pilot.Fault
+	// FaultKind selects what a scheduled fault does.
+	FaultKind = pilot.FaultKind
+	// CampaignCheckpoint is the resumable state of one campaign
+	// (AppManager.Checkpoint / AppManager.Resume).
+	CampaignCheckpoint = core.CampaignCheckpoint
+	// PipelineCheckpoint is one pipeline's stage-barrier snapshot.
+	PipelineCheckpoint = core.PipelineCheckpoint
 
 	// Task is one node of the graph: a named kernel invocation.
 	Task = core.Task
@@ -192,6 +205,18 @@ const (
 	ScheduleLeastLoaded = pilot.LeastLoaded
 )
 
+// Fault kinds (FaultSpec.Kind): what a scheduled fault does to its
+// target pilot at the planned virtual instant.
+const (
+	// FaultKillPilot terminates the pilot abruptly.
+	FaultKillPilot = pilot.FaultKillPilot
+	// FaultExpireWalltime ends the pilot as a walltime expiry.
+	FaultExpireWalltime = pilot.FaultExpireWalltime
+	// FaultNodeLoss removes the last FaultSpec.Nodes nodes from the
+	// pilot's agent; the pilot keeps running at reduced capacity.
+	FaultNodeLoss = pilot.FaultNodeLoss
+)
+
 // Clock engine values (see NewClockEngine): the direct-handoff engine is
 // the default; the reference engine is the seed's global-mutex design,
 // kept as the semantic baseline the engine-parity tests compare against.
@@ -260,6 +285,30 @@ func NewKernelRegistry() *KernelRegistry { return kernels.NewRegistry() }
 // DefaultRuntimeConfig returns the pilot runtime configuration used for
 // the paper reproduction.
 func DefaultRuntimeConfig() RuntimeConfig { return pilot.DefaultConfig() }
+
+// SaveCheckpoint serialises a campaign checkpoint to w; a non-nil prof
+// appends the profiler's full trace dump to the same stream, so one
+// file carries both the resume state and the evidence of the run that
+// produced it.
+func SaveCheckpoint(w io.Writer, cp *CampaignCheckpoint, prof *profile.Profiler) error {
+	return core.SaveCheckpoint(w, cp, prof)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint; a
+// non-nil prof (which must be empty) receives the trace section when
+// the stream carries one.
+func LoadCheckpoint(r io.Reader, prof *profile.Profiler) (*CampaignCheckpoint, error) {
+	return core.LoadCheckpoint(r, prof)
+}
+
+// Resume restarts a campaign from a checkpoint on a fresh binding:
+// pipelines are matched to the checkpoint's snapshots by name, each
+// matched pipeline skips its settled stage prefix, and the resumed
+// report agrees with an uninterrupted run on every reorder-invariant
+// column. Equivalent to NewAppManager(b).Resume(cp, pls...).
+func Resume(b Binding, cp *CampaignCheckpoint, pls ...*Pipeline) (*CampaignReport, error) {
+	return core.NewAppManager(b).Resume(cp, pls...)
+}
 
 // Resources lists the registered machine labels.
 func Resources() []string {

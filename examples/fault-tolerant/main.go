@@ -1,0 +1,155 @@
+// Command fault-tolerant demonstrates the toolkit's robustness layer in
+// two acts.
+//
+// Act 1 — fault injection and unit rebinding: a two-pilot campaign with
+// ResourceSet.Rebind enabled loses one pilot mid-execution to an
+// injected fault (ResourceSet.Faults schedules it at an exact virtual
+// instant, so the run is reproducible). The dying pilot's in-flight and
+// queued units are RETURNED, not failed: the unit manager re-places
+// them on the survivor and the campaign completes every task with zero
+// retries — just later, and with the per-pilot utilization rows showing
+// the work shifted.
+//
+// Act 2 — checkpoint and resume: a single-pilot campaign is killed
+// mid-stage-2 with no recovery installed, so it settles as a partial
+// failure. The AppManager's always-on campaign tracker holds the last
+// stage-barrier snapshot; we persist it with entk.SaveCheckpoint (the
+// run's profile trace rides in the same stream), reload it, and
+// entk.Resume the same pipeline on a fresh allocation — the settled
+// stage prefix is skipped and the final report agrees with an
+// uninterrupted run on every reorder-invariant column.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"entk"
+)
+
+// buildPipeline is the shared workload: stages of 600s single-core
+// tasks, long enough that an injected fault lands mid-execution.
+func buildPipeline(name string, width, depth int) *entk.Pipeline {
+	kernel := &entk.Kernel{Name: "misc.sleep", Params: map[string]float64{"seconds": 600}}
+	stages := make([]*entk.Stage, depth)
+	for s := range stages {
+		tasks := make([]entk.Task, width)
+		for i := range tasks {
+			tasks[i] = entk.Task{Kernel: kernel}
+		}
+		stages[s] = &entk.Stage{Tasks: tasks}
+	}
+	return &entk.Pipeline{Name: name, Stages: stages}
+}
+
+func main() {
+	// --- Act 1: kill a pilot mid-wave, rebind its units, finish. ---
+	v := entk.NewClock()
+	set, err := entk.NewResourceSet([]entk.PilotSpec{
+		{Resource: "xsede.comet", Cores: 24, Walltime: 10 * time.Hour},
+		{Resource: "xsede.comet", Cores: 24, Walltime: 10 * time.Hour},
+	}, entk.Config{Clock: v})
+	if err != nil {
+		log.Fatalf("resource set: %v", err)
+	}
+	set.Rebind = true // displaced units re-place instead of failing
+	set.Faults = &entk.FaultPlan{Faults: []entk.FaultSpec{
+		// Both pilots activate at ~90.5s (60.5s queue + 30s boot); the
+		// 600s wave is in full flight at 400s when pilot 1 dies.
+		{At: 400 * time.Second, Pilot: 1, Kind: entk.FaultKillPilot},
+	}}
+
+	var camp *entk.CampaignReport
+	v.Run(func() {
+		if err = set.Allocate(); err != nil {
+			return
+		}
+		camp, err = entk.NewAppManager(set).Run(buildPipeline("ensemble", 32, 2))
+		if derr := set.Deallocate(); err == nil {
+			err = derr
+		}
+	})
+	if err != nil {
+		log.Fatalf("rebind campaign: %v", err)
+	}
+	fmt.Println("act 1: two-pilot campaign, pilot 1 killed at t=400s, units rebound")
+	fmt.Printf("campaign: %d/%d tasks, %d retries, TTC %.1fs simulated\n",
+		camp.Campaign.Tasks, camp.Campaign.PlannedTasks, camp.Campaign.Retries,
+		camp.Campaign.TTC.Seconds())
+	for _, u := range camp.Pilots {
+		fmt.Printf("  pilot %d  units=%2d  busy=%7.1fs\n",
+			u.Pilot, u.Units, u.CoreBusy.Seconds())
+	}
+	fmt.Println("  (the survivor absorbed every displaced unit)")
+
+	// --- Act 2: no recovery — checkpoint the partial campaign, resume
+	// it on a fresh allocation. ---
+	v2 := entk.NewClock()
+	single, err := entk.NewResourceSet([]entk.PilotSpec{
+		{Resource: "xsede.comet", Cores: 24, Walltime: 10 * time.Hour},
+	}, entk.Config{Clock: v2})
+	if err != nil {
+		log.Fatalf("resource set: %v", err)
+	}
+	// Stage 1 settles at ~693s; the kill at 800s lands mid stage 2.
+	single.Faults = &entk.FaultPlan{Faults: []entk.FaultSpec{
+		{At: 800 * time.Second, Pilot: 0, Kind: entk.FaultKillPilot},
+	}}
+	am := entk.NewAppManager(single)
+	var runErr error
+	v2.Run(func() {
+		if err := single.Allocate(); err != nil {
+			runErr = err
+			return
+		}
+		_, runErr = am.Run(buildPipeline("campaign", 16, 3))
+		single.Deallocate()
+	})
+	fmt.Printf("\nact 2: single pilot killed mid stage 2 — run failed as expected: %v\n", runErr != nil)
+
+	// Persist the checkpoint (with the run's trace) and reload it — in a
+	// real application this buffer is a file that survives the process.
+	cp := am.Checkpoint()
+	var file bytes.Buffer
+	if err := entk.SaveCheckpoint(&file, cp, single.Session().Prof); err != nil {
+		log.Fatalf("save checkpoint: %v", err)
+	}
+	restored, err := entk.LoadCheckpoint(bytes.NewReader(file.Bytes()), nil)
+	if err != nil {
+		log.Fatalf("load checkpoint: %v", err)
+	}
+	pc := restored.Pipeline("campaign")
+	fmt.Printf("checkpoint: %d bytes, pipeline %q settled %d/3 stages (%d tasks done)\n",
+		file.Len(), pc.Name, pc.SettledStages, pc.Tasks)
+
+	// Resume on a fresh clock and allocation: the settled prefix is
+	// skipped, only stages 2-3 run again.
+	v3 := entk.NewClock()
+	fresh, err := entk.NewResourceSet([]entk.PilotSpec{
+		{Resource: "xsede.comet", Cores: 24, Walltime: 10 * time.Hour},
+	}, entk.Config{Clock: v3})
+	if err != nil {
+		log.Fatalf("resource set: %v", err)
+	}
+	var resumed *entk.CampaignReport
+	v3.Run(func() {
+		if err = fresh.Allocate(); err != nil {
+			return
+		}
+		resumed, err = entk.Resume(fresh, restored, buildPipeline("campaign", 16, 3))
+		if derr := fresh.Deallocate(); err == nil {
+			err = derr
+		}
+	})
+	if err != nil {
+		log.Fatalf("resume: %v", err)
+	}
+	fmt.Printf("resumed: %d/%d tasks, %d retries, remainder TTC %.1fs simulated\n",
+		resumed.Campaign.Tasks, resumed.Campaign.PlannedTasks, resumed.Campaign.Retries,
+		resumed.Campaign.TTC.Seconds())
+	for _, ph := range resumed.Pipelines[0].Phases {
+		fmt.Printf("  %-8s busy=%7.1fs tasks=%2d\n", ph.Name, ph.Busy.Seconds(), ph.Tasks)
+	}
+}

@@ -155,6 +155,14 @@ func (j *Job) Finish() { j.sys.endJob(j, Completed) }
 // Cancel removes the job from the queue or kills it if running.
 func (j *Job) Cancel() { j.sys.cancel(j) }
 
+// Expire kills the job as the machine would at walltime expiry: a
+// running job is ended TimedOut, a pending one is discarded as timed
+// out without ever starting. Unlike Cancel this models a failure on the
+// resource side, so callers charge no client network latency. It is the
+// hook fault injection uses to expire an allocation at an exact virtual
+// instant.
+func (j *Job) Expire() { j.sys.expire(j) }
+
 // System is one machine's batch system.
 type System struct {
 	v       *vclock.Virtual
@@ -414,6 +422,39 @@ func (s *System) cancel(j *Job) {
 	case Running:
 		j.mu.Unlock()
 		s.endJob(j, Cancelled)
+		return
+	default:
+		j.mu.Unlock()
+	}
+}
+
+// expire handles Job.Expire for both queued and running jobs: the
+// machine-side abnormal termination. It mirrors cancel's state walk but
+// lands on TimedOut, so the SAGA layer reports the death as Failed.
+func (s *System) expire(j *Job) {
+	j.mu.Lock()
+	switch j.state {
+	case Pending:
+		j.state = TimedOut
+		j.ended = s.v.Now()
+		j.mu.Unlock()
+		s.mu.Lock()
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		if s.prof != nil {
+			s.prof.RecordID(j.entityID, s.evEnd)
+		}
+		j.startEv.Fire() // release WaitStart callers
+		j.endEv.Fire()
+		return
+	case Running:
+		j.mu.Unlock()
+		s.endJob(j, TimedOut)
 		return
 	default:
 		j.mu.Unlock()

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"entk/internal/pad"
 	"entk/internal/pilot"
@@ -23,6 +24,14 @@ import (
 type AppManager struct {
 	b  Binding
 	rs *ResourceSet
+
+	// Campaign tracker: every pipeline's latest stage-barrier snapshot,
+	// keyed by name and kept in campaign submission order. Always on —
+	// the per-barrier cost is one counter snapshot — so Checkpoint can
+	// be called at any time, including after a fault-aborted Run.
+	mu     sync.Mutex
+	order  []string
+	byName map[string]PipelineCheckpoint
 }
 
 // NewAppManager returns an application manager bound to the binding —
@@ -30,7 +39,33 @@ type AppManager struct {
 // The binding must be allocated before Run (Allocate, or via
 // Execute-style sequencing by the caller).
 func NewAppManager(b Binding) *AppManager {
-	return &AppManager{b: b, rs: b.bind()}
+	return &AppManager{b: b, rs: b.bind(), byName: make(map[string]PipelineCheckpoint)}
+}
+
+// noteSettled is the campaign tracker's sink: executors push a
+// cumulative snapshot at every settled stage barrier.
+func (am *AppManager) noteSettled(pc PipelineCheckpoint) {
+	am.mu.Lock()
+	if _, ok := am.byName[pc.Name]; !ok {
+		am.order = append(am.order, pc.Name)
+	}
+	am.byName[pc.Name] = pc
+	am.mu.Unlock()
+}
+
+// Checkpoint returns the campaign state at the last settled stage
+// barriers of the most recent Run or Resume — callable mid-campaign
+// from another clock process, or after a Run returned (fully or
+// partially). Persist it with SaveCheckpoint and restart the campaign
+// with Resume.
+func (am *AppManager) Checkpoint() *CampaignCheckpoint {
+	am.mu.Lock()
+	defer am.mu.Unlock()
+	cp := &CampaignCheckpoint{}
+	for _, name := range am.order {
+		cp.Pipelines = append(cp.Pipelines, am.byName[name])
+	}
+	return cp
 }
 
 // Handle returns the underlying resource handle when the manager was
@@ -71,6 +106,23 @@ type CampaignReport struct {
 // clock process, and multiple campaigns (or campaigns and patterns)
 // may run sequentially on one binding.
 func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
+	return am.run(nil, pls)
+}
+
+// Resume restarts a campaign from a checkpoint: pipelines are matched
+// to the checkpoint's snapshots by name, each matched pipeline skips
+// its settled stage prefix and seeds its counters from the snapshot,
+// and unmatched pipelines run from the start. The pipelines passed in
+// must be the same graph the checkpoint was taken from (same names,
+// same stage order) — the checkpoint records progress, not structure.
+func (am *AppManager) Resume(cp *CampaignCheckpoint, pls ...*Pipeline) (*CampaignReport, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("core: Resume with nil checkpoint")
+	}
+	return am.run(cp, pls)
+}
+
+func (am *AppManager) run(cp *CampaignCheckpoint, pls []*Pipeline) (*CampaignReport, error) {
 	rs := am.rs
 	if len(pls) == 0 {
 		return nil, fmt.Errorf("core: campaign with no pipelines")
@@ -95,10 +147,32 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 		return nil, err
 	}
 
-	// Per-pilot utilization snapshots bracketing the campaign window.
-	before := make([]pilot.UtilSnapshot, len(rs.pilots))
-	for i, p := range rs.pilots {
-		before[i] = p.Util()
+	// Reset the campaign tracker and pre-register every pipeline in
+	// submission order, so Checkpoint() ordering is deterministic no
+	// matter which pipeline settles a barrier first. On resume the
+	// registrations start from the checkpoint's snapshots — a pipeline
+	// that settles nothing further re-checkpoints unchanged.
+	am.mu.Lock()
+	am.order = am.order[:0]
+	clear(am.byName)
+	for i := range pls {
+		reg := PipelineCheckpoint{Name: names[i]}
+		if pc := cp.Pipeline(names[i]); pc != nil {
+			reg = *pc
+		}
+		am.order = append(am.order, names[i])
+		am.byName[names[i]] = reg
+	}
+	am.mu.Unlock()
+
+	// Per-pilot utilization snapshots bracketing the campaign window,
+	// keyed by identity: the set may grow (AddPilot) or shrink
+	// (DrainPilot, injected faults) mid-campaign, so positions are not
+	// stable. A pilot added mid-campaign has no "before" snapshot — the
+	// map's zero value is exactly the right baseline.
+	before := make(map[*pilot.ComputePilot]pilot.UtilSnapshot, len(rs.pilots))
+	for _, p := range rs.Pilots() {
+		before[p] = p.Util()
 	}
 
 	v := rs.cfg.Clock
@@ -115,6 +189,10 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 			defer wg.Done()
 			ex := newNamedExecutor(rs, names[i])
 			ex.planned = pl.TaskCount()
+			if pc := cp.Pipeline(names[i]); pc != nil {
+				ex.seedFrom(pc)
+			}
+			ex.onSettled = am.noteSettled
 			pt0 := v.Now()
 			err := ex.runPipelineSet([]*Pipeline{pl})
 			rep := ex.report()
@@ -152,9 +230,10 @@ func (am *AppManager) Run(pls ...*Pipeline) (*CampaignReport, error) {
 	agg.AgentStartup = rs.agentStartup
 	rs.mu.Unlock()
 
-	utils := make([]PilotUtilization, len(rs.pilots))
-	for i, p := range rs.pilots {
-		d := p.Util().Sub(before[i])
+	endPilots := rs.Pilots()
+	utils := make([]PilotUtilization, len(endPilots))
+	for i, p := range endPilots {
+		d := p.Util().Sub(before[p])
 		u := PilotUtilization{
 			Pilot:     p.ID,
 			Resource:  p.Desc.Resource,

@@ -39,6 +39,14 @@ type PilotSpec struct {
 	// Tags label the pilot for tag-affinity placement (matched against
 	// Kernel.Tags), e.g. "mpi" on the wide-node machine.
 	Tags []string
+	// ActivationDeadline, if positive, bounds how long the pilot may sit
+	// unactivated in the batch queue, measured from its submission: a
+	// pilot still PENDING at the deadline is killed, and the campaign
+	// proceeds on the surviving pilots (work the survivors cannot hold
+	// settles as a partial PatternError) instead of gating forever on a
+	// stuck resource request. Zero waits indefinitely — the seed
+	// behaviour.
+	ActivationDeadline time.Duration
 }
 
 // validate rejects malformed specs with the handle's error vocabulary.
@@ -95,6 +103,22 @@ type ResourceSet struct {
 	// start gates on the slowest pilot, the seed semantics the recorded
 	// multi-pilot tiers pin. Set it before Run.
 	EagerSubmit bool
+	// Faults, if non-nil, schedules deterministic resource failures —
+	// pilot deaths, walltime expiries, node losses — at exact virtual
+	// instants, measured from the moment Allocate arms the plan (its
+	// return). The virtual clock makes the same plan bit-reproducible
+	// run after run; pick instants no cost model produces (odd
+	// nanosecond offsets) so fault wakes never race model events. Set it
+	// before Allocate.
+	Faults *pilot.FaultPlan
+	// Rebind opts displaced units into recovery: when a pilot dies or
+	// loses nodes, its pending backlog and in-flight units are returned
+	// and re-dispatched onto the surviving pilots through the placement
+	// policy, instead of failing with the death cause. Units no survivor
+	// can hold fail placement and settle through the executor's retry
+	// budget as a partial PatternError — the campaign always settles,
+	// it never hangs on lost work. Set it before Allocate.
+	Rebind bool
 
 	cfg    Config
 	sess   *pilot.Session
@@ -168,8 +192,12 @@ func (rs *ResourceSet) bind() *ResourceSet { return rs }
 func (rs *ResourceSet) Session() *pilot.Session { return rs.sess }
 
 // Pilots returns the allocated pilots in set order, nil before
-// Allocate.
+// Allocate. Pilots added mid-campaign (AddPilot) appear after the
+// initial specs; drained pilots remain listed — their utilization rows
+// cover the part of the campaign they served.
 func (rs *ResourceSet) Pilots() []*pilot.ComputePilot {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
 	return append([]*pilot.ComputePilot(nil), rs.pilots...)
 }
 
@@ -219,11 +247,12 @@ func (rs *ResourceSet) Allocate() error {
 	rs.um = pilot.NewUnitManager(rs.sess)
 	if rs.Placement != nil {
 		rs.um.SetPlacement(rs.Placement)
-	} else if len(rs.Specs) > 1 {
+	} else if len(rs.Specs) > 1 || rs.Rebind {
 		// Multi-pilot sets need eligibility-aware placement (the legacy
 		// per-unit scheduler would route units to pilots that must
 		// reject them); single-pilot sets keep the seed path bit for
-		// bit.
+		// bit. Rebind always needs it: re-dispatch must exclude the dead
+		// pilot, which only eligibility-aware placement does.
 		rs.um.SetPlacement(pilot.PlaceRoundRobin())
 	}
 	rs.batch = pilot.NewWaveBatcher(rs.um)
@@ -256,11 +285,61 @@ func (rs *ResourceSet) Allocate() error {
 		rs.pilots = append(rs.pilots, p)
 		rs.um.AddPilot(p)
 		prof.RecordID(rs.coreEnt, rs.evPilotSubmit)
+		rs.armPilot(p, spec)
+	}
+	if rs.Faults != nil {
+		var displaced func([]*pilot.ComputeUnit)
+		if rs.Rebind {
+			displaced = rs.redispatch
+		}
+		if err := rs.Faults.Arm(v, rs.pilots, displaced); err != nil {
+			return err
+		}
 	}
 	rs.mu.Lock()
 	rs.allocCtl = v.Now() - t0
 	rs.mu.Unlock()
 	return nil
+}
+
+// armPilot attaches the fault-tolerance machinery of one freshly
+// submitted pilot: the rebind recovery path, the scheduling withdrawal
+// on death, and the activation deadline. Shared by Allocate and the
+// mid-campaign AddPilot.
+func (rs *ResourceSet) armPilot(p *pilot.ComputePilot, spec PilotSpec) {
+	v := rs.cfg.Clock
+	if rs.Rebind {
+		// Installed before the pilot can activate (agent boot is still
+		// ahead), so every placement is tracked and teardown returns the
+		// backlog instead of failing it.
+		p.SetRecovery(rs.redispatch)
+		// Withdraw a dead pilot from scheduling so late-binding picks
+		// stop seeing it (placement would skip it anyway; this keeps the
+		// set's "no pilots" accounting honest when every pilot dies).
+		p := p
+		v.Go(func() {
+			p.WaitFinal()
+			rs.um.RemovePilot(p)
+		})
+	}
+	if spec.ActivationDeadline > 0 {
+		p := p
+		deadline := spec.ActivationDeadline
+		v.After(deadline, func() {
+			if p.State() == pilot.PilotPending {
+				p.Kill(fmt.Errorf("core: pilot %d missed activation deadline %v", p.ID, deadline))
+			}
+		})
+	}
+}
+
+// redispatch is the recovery callback rebinding displaced units: they
+// re-enter late binding over the surviving pilots at the current instant
+// (re-dispatch charges no client-side submission cost — the units were
+// already created and paid it). Units no survivor can hold fail
+// placement and settle through the executor's retry budget.
+func (rs *ResourceSet) redispatch(units []*pilot.ComputeUnit) {
+	rs.um.Dispatch(units)
 }
 
 // waitActive blocks until the set can accept units, recording the
@@ -279,14 +358,25 @@ func (rs *ResourceSet) waitActive() error {
 	v := rs.cfg.Clock
 	t0 := v.Now()
 	var queueWait time.Duration
+	active := 0
 	for _, p := range rs.pilots {
 		p.WaitActive()
 		if p.State() != pilot.PilotActive {
+			// An injected fault — a planned kill, or a missed activation
+			// deadline — degrades the set to the survivors instead of
+			// failing the run; natural deaths keep the seed's hard error.
+			if p.FaultCause() != nil {
+				continue
+			}
 			return fmt.Errorf("core: pilot failed before activation (%v)", p.State())
 		}
+		active++
 		if qw := p.QueueWait(); qw > queueWait {
 			queueWait = qw
 		}
+	}
+	if active == 0 {
+		return fmt.Errorf("core: every pilot failed before activation")
 	}
 	rs.mu.Lock()
 	rs.queueWait = queueWait
@@ -355,6 +445,76 @@ func (rs *ResourceSet) waitFirstActive() error {
 		rs.agentStartup = 0
 	}
 	rs.mu.Unlock()
+	return nil
+}
+
+// AddPilot grows an allocated set mid-campaign: the spec is validated
+// and submitted like an Allocate-time pilot (batch queue, agent boot,
+// recovery and deadline arming included), joins late binding
+// immediately — units bound to it before activation wait in its agent —
+// and appears on campaign utilization rows with a zero baseline, so its
+// row covers only the work it actually absorbed. Must be called from a
+// registered clock process; the submission's control time is charged to
+// the caller, not the core overhead.
+func (rs *ResourceSet) AddPilot(spec PilotSpec) (*pilot.ComputePilot, error) {
+	rs.mu.Lock()
+	ok := rs.allocated
+	rs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: AddPilot before Allocate")
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	p, err := rs.pm.Submit(pilot.PilotDescription{
+		Resource: spec.Resource,
+		Cores:    spec.Cores,
+		Walltime: spec.Walltime,
+		Queue:    spec.Queue,
+		Project:  spec.Project,
+		Tags:     spec.Tags,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs.mu.Lock()
+	rs.pilots = append(rs.pilots, p)
+	rs.mu.Unlock()
+	rs.um.AddPilot(p)
+	rs.sess.Prof.RecordID(rs.coreEnt, rs.evPilotSubmit)
+	rs.armPilot(p, spec)
+	return p, nil
+}
+
+// DrainPilot shrinks an allocated set mid-campaign: the pilot is
+// withdrawn from late binding, its pending backlog is re-dispatched
+// onto the remaining pilots, its running units finish normally, and the
+// allocation is then released. The drained pilot stays in Pilots() —
+// its utilization row covers the partial lifetime it served. Units the
+// remaining pilots cannot hold settle through the executor's retry
+// budget (partial PatternError); draining the last pilot strands
+// nothing but fails everything still pending. Must be called from a
+// registered clock process; blocks until the pilot is released.
+func (rs *ResourceSet) DrainPilot(p *pilot.ComputePilot) error {
+	rs.mu.Lock()
+	member := false
+	for _, q := range rs.pilots {
+		if q == p {
+			member = true
+			break
+		}
+	}
+	rs.mu.Unlock()
+	if !member {
+		return fmt.Errorf("core: DrainPilot of a pilot not in the set")
+	}
+	rs.um.RemovePilot(p) // no new work arrives past this point
+	if backlog := p.DrainPending(); len(backlog) > 0 {
+		rs.redispatch(backlog)
+	}
+	p.Quiesced().Wait() // running units finish normally
+	p.Cancel()
+	p.WaitFinal()
 	return nil
 }
 

@@ -1,0 +1,258 @@
+package core
+
+// Campaign checkpoint/resume. The AppManager tracks every pipeline's
+// progress at stage-barrier granularity — the only instants at which a
+// pipeline's state is a pure prefix (every task of the settled stages is
+// final, none of the remainder has started). A checkpoint is the set of
+// per-pipeline barrier snapshots; resuming re-runs the same pipelines
+// with each settled prefix skipped and the executor counters seeded, so
+// the resumed report agrees with an uninterrupted run on every
+// reorder-invariant column (tasks, retries, per-phase busy/task/
+// occurrence counts — TestResumeReportParity pins this).
+//
+// The granularity has one documented limit: PostStage hooks of skipped
+// stages are not replayed. A campaign whose hooks grow the graph must
+// either re-derive that growth from its own state or not be resumed
+// across such a stage.
+//
+// On disk a checkpoint is the "ENTKCKPT" section below, optionally
+// followed — in the same stream — by a full profile dump
+// (profile.WriteTo), so one file carries both the resume state and the
+// trace evidence of the run that produced it. The profile section
+// round-trips through either profiler storage layout.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"entk/internal/profile"
+)
+
+// PipelineCheckpoint is one pipeline's state at its last settled stage
+// barrier.
+type PipelineCheckpoint struct {
+	// Name identifies the pipeline (campaign names are defaulted before
+	// tracking, so the checkpoint key is always non-empty).
+	Name string
+	// SettledStages counts the stages settled from the pipeline's start
+	// (execution order, including inserted stages). Resume skips exactly
+	// this prefix.
+	SettledStages int
+	// Tasks and Retries are the executor counters at the barrier.
+	Tasks   int
+	Retries int
+	// PatternOverhead is the submission overhead accumulated so far.
+	PatternOverhead time.Duration
+	// Phases are the per-phase aggregates at the barrier.
+	Phases []PhaseStat
+}
+
+// CampaignCheckpoint is the resumable state of one campaign: every
+// pipeline's latest barrier snapshot, in campaign submission order.
+type CampaignCheckpoint struct {
+	Pipelines []PipelineCheckpoint
+}
+
+// Pipeline returns the named pipeline's snapshot, nil if the pipeline
+// never settled a stage.
+func (cp *CampaignCheckpoint) Pipeline(name string) *PipelineCheckpoint {
+	if cp == nil {
+		return nil
+	}
+	for i := range cp.Pipelines {
+		if cp.Pipelines[i].Name == name {
+			return &cp.Pipelines[i]
+		}
+	}
+	return nil
+}
+
+// Checkpoint file format, little-endian throughout:
+//
+//	[8]  magic "ENTKCKPT"
+//	u32  version (currently 1)
+//	u32  pipeline count, then per pipeline:
+//	     string name (u32 length + bytes)
+//	     u32 settled stages, u64 tasks, u64 retries, i64 overhead
+//	     u32 phase count, then per phase:
+//	       string name, i64 span, i64 busy, u64 tasks, u64 occurrences
+//	u8   trace flag: 1 = a profile dump ("ENTKPROF") follows, 0 = end
+const (
+	ckptMagic   = "ENTKCKPT"
+	ckptVersion = 1
+	// ckptMaxString/ckptMaxCount bound one string / one repeated section
+	// so corrupted length fields fail cleanly instead of asking the
+	// allocator for gigabytes.
+	ckptMaxString = 1 << 20
+	ckptMaxCount  = 1 << 24
+)
+
+// SaveCheckpoint serialises the checkpoint, then — when prof is non-nil —
+// appends the profiler's full dump to the same stream. The profiler must
+// be quiescent (save between runs, not mid-campaign).
+func SaveCheckpoint(w io.Writer, cp *CampaignCheckpoint, prof *profile.Profiler) error {
+	if cp == nil {
+		return fmt.Errorf("core: nil checkpoint")
+	}
+	bw := bufio.NewWriter(w)
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	writeString := func(s string) error {
+		if err := write(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	if err := write(uint32(ckptVersion)); err != nil {
+		return err
+	}
+	if err := write(uint32(len(cp.Pipelines))); err != nil {
+		return err
+	}
+	for _, pc := range cp.Pipelines {
+		if err := writeString(pc.Name); err != nil {
+			return err
+		}
+		for _, v := range []any{
+			uint32(pc.SettledStages), uint64(pc.Tasks), uint64(pc.Retries),
+			int64(pc.PatternOverhead), uint32(len(pc.Phases)),
+		} {
+			if err := write(v); err != nil {
+				return err
+			}
+		}
+		for _, ph := range pc.Phases {
+			if err := writeString(ph.Name); err != nil {
+				return err
+			}
+			for _, v := range []any{
+				int64(ph.Span), int64(ph.Busy), uint64(ph.Tasks), uint64(ph.Occurrences),
+			} {
+				if err := write(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	flag := uint8(0)
+	if prof != nil {
+		flag = 1
+	}
+	if err := write(flag); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if prof != nil {
+		if _, err := prof.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. When the
+// stream carries a trace section, it is loaded into prof (which must be
+// empty, either storage layout); a nil prof skips the trace. The
+// trace-flag byte is consumed either way, so the checkpoint section
+// alone round-trips regardless of what follows.
+func LoadCheckpoint(r io.Reader, prof *profile.Profiler) (*CampaignCheckpoint, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	readString := func() (string, error) {
+		var length uint32
+		if err := read(&length); err != nil {
+			return "", err
+		}
+		if length > ckptMaxString {
+			return "", fmt.Errorf("core: checkpoint string length %d exceeds cap (corrupt?)", length)
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	magic := make([]byte, len(ckptMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != ckptMagic {
+		return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != ckptVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", version, ckptVersion)
+	}
+	var nPipes uint32
+	if err := read(&nPipes); err != nil {
+		return nil, err
+	}
+	if nPipes > ckptMaxCount {
+		return nil, fmt.Errorf("core: checkpoint pipeline count %d exceeds cap (corrupt?)", nPipes)
+	}
+	cp := &CampaignCheckpoint{}
+	for i := uint32(0); i < nPipes; i++ {
+		var pc PipelineCheckpoint
+		var err error
+		if pc.Name, err = readString(); err != nil {
+			return nil, err
+		}
+		var settled, nPhases uint32
+		var tasks, retries uint64
+		var overhead int64
+		for _, v := range []any{&settled, &tasks, &retries, &overhead, &nPhases} {
+			if err := read(v); err != nil {
+				return nil, err
+			}
+		}
+		if nPhases > ckptMaxCount {
+			return nil, fmt.Errorf("core: checkpoint phase count %d exceeds cap (corrupt?)", nPhases)
+		}
+		pc.SettledStages = int(settled)
+		pc.Tasks = int(tasks)
+		pc.Retries = int(retries)
+		pc.PatternOverhead = time.Duration(overhead)
+		for j := uint32(0); j < nPhases; j++ {
+			var ph PhaseStat
+			if ph.Name, err = readString(); err != nil {
+				return nil, err
+			}
+			var span, busy int64
+			var tasks, occ uint64
+			for _, v := range []any{&span, &busy, &tasks, &occ} {
+				if err := read(v); err != nil {
+					return nil, err
+				}
+			}
+			ph.Span = time.Duration(span)
+			ph.Busy = time.Duration(busy)
+			ph.Tasks = int(tasks)
+			ph.Occurrences = int(occ)
+			pc.Phases = append(pc.Phases, ph)
+		}
+		cp.Pipelines = append(cp.Pipelines, pc)
+	}
+	var flag uint8
+	if err := read(&flag); err != nil {
+		return nil, err
+	}
+	if flag == 1 && prof != nil {
+		// The trace section starts wherever the buffered reader stands;
+		// hand the profiler the same reader so no bytes are lost.
+		if _, err := prof.ReadFrom(br); err != nil {
+			return cp, fmt.Errorf("core: checkpoint trace section: %w", err)
+		}
+	}
+	return cp, nil
+}

@@ -80,6 +80,14 @@ type executor struct {
 	deferOrder []string
 	deferUnits map[string][]*pilot.ComputeUnit
 	deferForce map[string]bool
+
+	// Checkpoint hooks (campaign pipeline runs): skipStages makes
+	// runPipeline treat the first n stages as already settled (the
+	// resumed prefix), and onSettled — when set — receives a cumulative
+	// snapshot after every settled stage barrier. Both are configured
+	// before run() starts; onSettled is called outside ex.mu.
+	skipStages int
+	onSettled  func(PipelineCheckpoint)
 }
 
 func newExecutor(rs *ResourceSet, p Pattern) *executor {
@@ -107,6 +115,38 @@ func newNamedExecutor(rs *ResourceSet, name string) *executor {
 	ex.evSubStart = ex.prof.InternName("submit_start")
 	ex.evSubStop = ex.prof.InternName("submit_stop")
 	return ex
+}
+
+// seedFrom preloads the executor from a checkpoint snapshot: the
+// settled prefix is skipped and the counters continue where the
+// interrupted run stopped, so the resumed report agrees with an
+// uninterrupted one on every reorder-invariant column.
+func (ex *executor) seedFrom(pc *PipelineCheckpoint) {
+	ex.skipStages = pc.SettledStages
+	ex.tasks = pc.Tasks
+	ex.retries = pc.Retries
+	ex.patternOverhead = pc.PatternOverhead
+	ex.phases.merge("", pc.Phases)
+}
+
+// noteSettled snapshots the executor at a settled stage barrier for the
+// campaign tracker; seq is the stage's execution index from the
+// pipeline's start (including any resumed prefix).
+func (ex *executor) noteSettled(seq int) {
+	if ex.onSettled == nil {
+		return
+	}
+	ex.mu.Lock()
+	snap := PipelineCheckpoint{
+		Name:            ex.name,
+		SettledStages:   seq,
+		Tasks:           ex.tasks,
+		Retries:         ex.retries,
+		PatternOverhead: ex.patternOverhead,
+		Phases:          ex.phases.stats(),
+	}
+	ex.mu.Unlock()
+	ex.onSettled(snap)
 }
 
 // report assembles the final Report.

@@ -277,11 +277,18 @@ func (ex *executor) runPipeline(pl *Pipeline) error {
 			continue
 		}
 		seq++
+		if seq <= ex.skipStages {
+			// Resumed prefix: the checkpointed run settled this stage and
+			// its counters are already seeded. PostStage hooks of skipped
+			// stages are NOT replayed (see checkpoint.go).
+			continue
+		}
 		ctl := &StageCtl{pipeline: pl, seq: seq}
 		err := ex.runStage(st, ctl)
 		if err != nil {
 			return err
 		}
+		ex.noteSettled(seq)
 		if ctl.terminated {
 			return nil
 		}

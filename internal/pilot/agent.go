@@ -105,6 +105,31 @@ type agent struct {
 	// across their run window.
 	utilUnits int
 	utilBusy  time.Duration
+
+	// capCores is the pilot's current capacity in cores: the static
+	// allocation minus nodes lost to injected faults. Read lock-free by
+	// admission and placement eligibility.
+	capCores atomic.Int64
+
+	// Fault-tolerance state (all under mu; recover also read via
+	// recovery()): recover, when installed (ResourceSet rebind opt-in),
+	// receives the units a pilot death or node loss displaces instead of
+	// failing them; inflight tracks running units with the allocation and
+	// rebind generation of their placement, so teardown can steal them;
+	// down marks nodes lost to FaultNodeLoss — release drops their
+	// shares; quiesceEv, once armed by quiesce(), fires when no unit is
+	// running (the DrainPilot handshake).
+	recover   func([]*ComputeUnit)
+	inflight  map[*ComputeUnit]flightInfo
+	down      map[int]bool
+	quiesceEv *vclock.Event
+}
+
+// flightInfo is one tracked in-flight unit: the allocation it holds and
+// the rebind generation captured at placement.
+type flightInfo struct {
+	alloc allocation
+	gen   int
 }
 
 // runInfo is a running unit's projected completion and core count.
@@ -114,9 +139,14 @@ type runInfo struct {
 }
 
 // launchReq is one placement decided by a pass, executed after unlock.
+// gen is the unit's rebind generation at placement time (-1 on agents
+// that do not track in-flight work): every effect the executor applies
+// is gated on it, so a unit stolen for rebinding mid-flight cannot be
+// double-settled by its stale executor.
 type launchReq struct {
 	u     *ComputeUnit
 	alloc allocation
+	gen   int
 }
 
 // execSlot is one idle executor worker: a capacity-1 work channel (the
@@ -155,7 +185,56 @@ func newAgent(p *ComputePilot) *agent {
 	if p.sess.Cfg.Agent == Backfill {
 		a.runEnds = make(map[*ComputeUnit]runInfo)
 	}
+	a.capCores.Store(int64(cores))
 	return a
+}
+
+// capacityCores reports the pilot's current capacity: the static
+// allocation minus nodes lost to injected faults.
+func (a *agent) capacityCores() int { return int(a.capCores.Load()) }
+
+// setRecovery installs the rebind path: the callback receiving units a
+// pilot death or node loss displaces, plus the in-flight tracking that
+// makes stealing them possible. ResourceSet installs it right after
+// submission — before activation — so no placement escapes tracking.
+func (a *agent) setRecovery(fn func([]*ComputeUnit)) {
+	a.mu.Lock()
+	a.recover = fn
+	if a.inflight == nil {
+		a.inflight = make(map[*ComputeUnit]flightInfo)
+	}
+	a.mu.Unlock()
+}
+
+// recovery returns the installed rebind callback, nil without one.
+func (a *agent) recovery() func([]*ComputeUnit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.recover
+}
+
+// rejectStopped disposes of a unit submitted to a stopped agent: with a
+// recovery path installed it bounces back for rebinding (the pilot died
+// between the placement pick and the submission landing), otherwise it
+// fails with the stop cause.
+func (a *agent) rejectStopped(u *ComputeUnit) {
+	if rec := a.recovery(); rec != nil {
+		rec([]*ComputeUnit{u})
+		return
+	}
+	u.finish(UnitFailed, a.stopCause())
+}
+
+// rejectStoppedBatch is rejectStopped for a whole bulk submission.
+func (a *agent) rejectStoppedBatch(us []*ComputeUnit) {
+	if rec := a.recovery(); rec != nil {
+		rec(us)
+		return
+	}
+	cause := a.stopCause()
+	for _, u := range us {
+		u.finish(UnitFailed, cause)
+	}
 }
 
 // start begins scheduling queued units; called when the pilot activates.
@@ -193,6 +272,157 @@ func (a *agent) stop(cause error) {
 	}
 }
 
+// stopWithReturn is stop for a pilot with a recovery path installed:
+// instead of failing the backlog it drains the pending queue (the
+// queue's own FIFO drain machinery) and steals the in-flight units,
+// returning both for the caller to rebind onto surviving pilots. A
+// stolen unit's stale executor keeps running — virtual sleeps cannot be
+// interrupted — but every subsequent effect is generation-gated
+// (unit.go), so it exits harmlessly at its next gate. In-flight units
+// are returned first (they are the oldest work), ordered by unit ID so
+// the map iteration cannot leak nondeterminism into the rebind order.
+func (a *agent) stopWithReturn(cause error) []*ComputeUnit {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return nil
+	}
+	a.stopped = true
+	a.stoppedFlag.Store(true)
+	a.stopErr = cause
+	pend := a.pend.drain()
+	running := make([]*ComputeUnit, 0, len(a.inflight))
+	for u := range a.inflight {
+		running = append(running, u)
+	}
+	a.inflight = make(map[*ComputeUnit]flightInfo)
+	a.mu.Unlock()
+	a.idleMu.Lock()
+	idle := a.idle
+	a.idle = nil
+	a.idleMu.Unlock()
+	for w := idle; w != nil; w = w.next {
+		close(w.ch)
+	}
+	sort.Slice(running, func(i, j int) bool { return running[i].ID < running[j].ID })
+	returned := make([]*ComputeUnit, 0, len(running)+len(pend))
+	for _, u := range running {
+		if u.steal() {
+			returned = append(returned, u)
+		}
+	}
+	for _, u := range pend {
+		if !u.State().Final() { // racing external finish keeps its result
+			returned = append(returned, u)
+		}
+	}
+	return returned
+}
+
+// drainPending removes and returns the live pending backlog without
+// stopping the agent — the DrainPilot path: the unit manager has
+// already withdrawn the pilot so no new work arrives, running units
+// finish normally, and the returned backlog is rebound elsewhere.
+func (a *agent) drainPending() []*ComputeUnit {
+	a.mu.Lock()
+	pend := a.pend.drain()
+	a.mu.Unlock()
+	out := make([]*ComputeUnit, 0, len(pend))
+	for _, u := range pend {
+		if !u.State().Final() {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// quiesce returns an event that fires once the agent has no running
+// unit. Arm it only after the pending backlog is drained and no more
+// work will be dispatched here (DrainPilot's handshake); with anything
+// still running the event fires from the last release.
+func (a *agent) quiesce() *vclock.Event {
+	a.mu.Lock()
+	if a.quiesceEv == nil {
+		a.quiesceEv = vclock.NewEvent(a.sess.V, fmt.Sprintf("pilot %d quiesce", a.pilot.ID))
+	}
+	ev := a.quiesceEv
+	fire := a.running == 0
+	a.mu.Unlock()
+	if fire {
+		ev.Fire()
+	}
+	return ev
+}
+
+// loseNodes takes n nodes out of the allocation at the current instant —
+// the FaultNodeLoss path. The last n node indices are chosen
+// (deterministic and independent of occupancy); their free cores leave
+// the scheduler immediately, and cores a running unit holds there are
+// dropped when that unit releases. Every in-flight unit whose
+// allocation touches a downed node is stolen (generation-gated, as in
+// stopWithReturn) and the whole pending backlog is drained — a queued
+// unit may no longer fit the shrunken pilot, and re-placement sorts
+// feasible units back (often onto this same pilot's surviving nodes)
+// while infeasible ones settle through the caller. Returns the
+// displaced units; nil when the fault changed nothing.
+func (a *agent) loseNodes(n int) []*ComputeUnit {
+	a.mu.Lock()
+	if a.stopped || n <= 0 {
+		a.mu.Unlock()
+		return nil
+	}
+	total := len(a.sched.nodeFree())
+	if n > total {
+		n = total
+	}
+	if a.down == nil {
+		a.down = make(map[int]bool)
+	}
+	lost := 0
+	for i := total - n; i < total; i++ {
+		if a.down[i] {
+			continue
+		}
+		a.down[i] = true
+		lost += a.sched.markDown(i)
+	}
+	if lost == 0 {
+		a.mu.Unlock()
+		return nil
+	}
+	a.capCores.Add(-int64(lost))
+	var hit []*ComputeUnit
+	for u, fi := range a.inflight {
+		touched := false
+		fi.alloc.forEach(func(node, _ int) {
+			if a.down[node] {
+				touched = true
+			}
+		})
+		if touched {
+			hit = append(hit, u)
+		}
+	}
+	for _, u := range hit {
+		delete(a.inflight, u)
+	}
+	pend := a.pend.drain()
+	a.mu.Unlock()
+	sort.Slice(hit, func(i, j int) bool { return hit[i].ID < hit[j].ID })
+	returned := make([]*ComputeUnit, 0, len(hit)+len(pend))
+	for _, u := range hit {
+		if u.steal() {
+			returned = append(returned, u)
+		}
+	}
+	for _, u := range pend {
+		if !u.State().Final() {
+			returned = append(returned, u)
+		}
+	}
+	return returned
+}
+
 // submit enqueues a unit. The unit must already be bound to this agent's
 // pilot. The QUEUED transition is recorded before the unit becomes
 // visible to the scheduler, so a pass can never execute it first; queue
@@ -204,9 +434,8 @@ func (a *agent) submit(u *ComputeUnit) {
 	u.setState(UnitQueued)
 	a.mu.Lock()
 	if a.stopped {
-		cause := a.stopErr
 		a.mu.Unlock()
-		u.finish(UnitFailed, cause)
+		a.rejectStopped(u)
 		return
 	}
 	a.pend.push(u)
@@ -227,18 +456,19 @@ func (a *agent) submit(u *ComputeUnit) {
 // when the unit was finished (rejected) and must not be queued.
 func (a *agent) admit(u *ComputeUnit) bool {
 	if a.isStopped() {
-		u.finish(UnitFailed, a.stopCause())
+		a.rejectStopped(u)
 		return false
 	}
 	// Units that can never be placed on this pilot are rejected here, at
 	// submission, against the pilot's static shape — queueing them would
 	// wedge the FIFO (and the watermark would rightly never trigger a
-	// pass for them).
+	// pass for them). The capacity is the live one: a pilot shrunk by
+	// node loss no longer admits units only its lost nodes could hold.
 	need := u.Desc.Cores
-	if need > a.pilot.Desc.Cores {
+	if cap := a.capacityCores(); need > cap {
 		u.finish(UnitFailed, fmt.Errorf(
 			"pilot: unit %q needs %d cores, pilot %d holds %d",
-			u.Desc.Name, need, a.pilot.ID, a.pilot.Desc.Cores))
+			u.Desc.Name, need, a.pilot.ID, cap))
 		return false
 	}
 	if m := a.pilot.backend.machine; !u.Desc.MPI && need > m.CoresPerNode {
@@ -271,11 +501,8 @@ func (a *agent) submitBatch(us []*ComputeUnit) {
 	}
 	a.mu.Lock()
 	if a.stopped {
-		cause := a.stopErr
 		a.mu.Unlock()
-		for _, u := range queued {
-			u.finish(UnitFailed, cause)
-		}
+		a.rejectStoppedBatch(queued)
 		return
 	}
 	for _, u := range queued {
@@ -359,21 +586,66 @@ func (a *agent) utilSnapshot() UtilSnapshot {
 // successor directly instead of spawning a fresh goroutine per unit.
 func (a *agent) release(lr launchReq) (launchReq, bool) {
 	a.mu.Lock()
-	a.sched.release(lr.alloc)
+	a.releaseAllocLocked(lr.alloc)
 	a.running--
 	if a.runEnds != nil {
 		delete(a.runEnds, lr.u)
 	}
+	if a.inflight != nil {
+		// Only the entry of this very placement: the unit may already be
+		// re-placed here under a newer generation.
+		if fi, ok := a.inflight[lr.u]; ok && fi.gen == lr.gen {
+			delete(a.inflight, lr.u)
+		}
+	}
+	var quiesce *vclock.Event
+	if a.running == 0 && a.quiesceEv != nil {
+		quiesce = a.quiesceEv
+	}
 	if !a.started || a.stopped || a.pend.size() == 0 || !a.fitPossible() {
 		a.mu.Unlock()
+		if quiesce != nil {
+			quiesce.Fire()
+		}
 		return launchReq{}, false
 	}
 	a.dirty = true
 	if a.inPass {
 		a.mu.Unlock()
+		if quiesce != nil {
+			quiesce.Fire()
+		}
 		return launchReq{}, false
 	}
-	return a.runPassesTakeOne() // unlocks
+	next, ok := a.runPassesTakeOne() // unlocks
+	if quiesce != nil {
+		quiesce.Fire()
+	}
+	return next, ok
+}
+
+// releaseAllocLocked returns an allocation's cores to the scheduler,
+// dropping shares on nodes lost to injected faults: the cores left with
+// the node. Caller holds mu.
+func (a *agent) releaseAllocLocked(alloc allocation) {
+	if a.down == nil {
+		a.sched.release(alloc)
+		return
+	}
+	kept := allocation{node: -1}
+	alloc.forEach(func(node, cores int) {
+		if a.down[node] {
+			return
+		}
+		if kept.node < 0 {
+			kept.node, kept.cores = node, cores
+		} else {
+			kept.spill = append(kept.spill, nodeShare{node, cores})
+		}
+	})
+	if kept.node >= 0 {
+		a.sched.release(kept)
+	}
 }
 
 // runPasses drains the dirty flag: it runs scheduling passes until no new
@@ -550,7 +822,15 @@ func (a *agent) passLocked() []launchReq {
 			}
 			a.runEnds[u] = runInfo{end: end, cores: need}
 		}
-		launches = append(launches, launchReq{u, alloc})
+		// Capture the rebind generation under the same lock that placed
+		// the unit: a steal can only land before or after this critical
+		// section, never between placement and capture.
+		g := -1
+		if a.inflight != nil {
+			g = u.generation()
+			a.inflight[u] = flightInfo{alloc: alloc, gen: g}
+		}
+		launches = append(launches, launchReq{u, alloc, g})
 		q.placed()
 	}
 	q.endPass()
@@ -604,7 +884,7 @@ func (a *agent) reservationLocked(headNeed int) (shadow time.Duration, extra int
 // park/unpark round trip through the Go scheduler.
 func (a *agent) execute(lr launchReq) {
 	for {
-		a.executeUnit(lr.u)
+		a.executeUnit(lr)
 		next, ok := a.release(lr)
 		if !ok {
 			return
@@ -616,7 +896,12 @@ func (a *agent) execute(lr launchReq) {
 // executeUnit runs one unit's full lifecycle on its allocation: launch,
 // staging-in, execution (virtual sleep of the cost-model duration plus the
 // optional real Work), staging-out. The caller releases the allocation.
-func (a *agent) executeUnit(u *ComputeUnit) {
+// Every effect is gated on lr.gen: when the unit was stolen for rebinding
+// mid-flight, this (now stale) executor's transitions, profiler records,
+// utilization bumps, and finish are all discarded — the rebound run owns
+// them. lr.gen is -1 (no gating) on agents without in-flight tracking.
+func (a *agent) executeUnit(lr launchReq) {
+	u := lr.u
 	v := a.sess.V
 	m := a.pilot.backend.machine
 	prof := a.sess.Prof
@@ -627,16 +912,21 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	v.Sleep(m.TaskLaunchLatency)
 	a.launch.Release(1)
 	if a.isStopped() {
-		u.finish(UnitFailed, a.stopCause())
+		u.finishFrom(lr.gen, UnitFailed, a.stopCause())
 		return
 	}
 
 	// Input staging.
 	if len(u.Desc.InputStaging) > 0 {
-		u.setState(UnitStagingInput)
+		if !u.setStateFrom(lr.gen, UnitStagingInput) {
+			return
+		}
 		prof.RecordID(u.entityID, vocab.evStageinStart)
 		if _, err := a.pilot.backend.mover.Run(u.Desc.InputStaging); err != nil {
-			u.finish(UnitFailed, fmt.Errorf("input staging: %w", err))
+			u.finishFrom(lr.gen, UnitFailed, fmt.Errorf("input staging: %w", err))
+			return
+		}
+		if u.staleGen(lr.gen) {
 			return
 		}
 		prof.RecordID(u.entityID, vocab.evStageinStop)
@@ -645,16 +935,20 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	// Execution.
 	dur, err := a.sess.Cost.Duration(u.Desc.Kernel, u.Desc.Params, u.Desc.Cores, m)
 	if err != nil {
-		u.finish(UnitFailed, err)
+		u.finishFrom(lr.gen, UnitFailed, err)
 		return
 	}
-	u.setState(UnitExecuting)
+	if !u.setStateFrom(lr.gen, UnitExecuting) {
+		return
+	}
 	start := v.Now()
 	prof.RecordID(u.entityID, vocab.evExecStart)
 	v.Sleep(dur)
 	stop := v.Now()
+	if !u.markExecFrom(lr.gen, start, stop) {
+		return
+	}
 	prof.RecordID(u.entityID, vocab.evExecStop)
-	u.markExec(start, stop)
 	// Utilization counters are bumped before the unit can turn final, so
 	// a snapshot taken when a campaign's last unit settles cannot miss
 	// its execution.
@@ -664,33 +958,38 @@ func (a *agent) executeUnit(u *ComputeUnit) {
 	a.mu.Unlock()
 
 	if u.Desc.FailOn != nil && u.Desc.FailOn(u.Desc.Attempt) {
-		u.finish(UnitFailed, fmt.Errorf("unit %q failed (injected, attempt %d)",
+		u.finishFrom(lr.gen, UnitFailed, fmt.Errorf("unit %q failed (injected, attempt %d)",
 			u.Desc.Name, u.Desc.Attempt))
 		return
 	}
 	if a.isStopped() {
-		u.finish(UnitFailed, a.stopCause())
+		u.finishFrom(lr.gen, UnitFailed, a.stopCause())
 		return
 	}
 	if u.Desc.Work != nil {
 		if err := u.Desc.Work(); err != nil {
-			u.finish(UnitFailed, fmt.Errorf("unit %q work: %w", u.Desc.Name, err))
+			u.finishFrom(lr.gen, UnitFailed, fmt.Errorf("unit %q work: %w", u.Desc.Name, err))
 			return
 		}
 	}
 
 	// Output staging.
 	if len(u.Desc.OutputStaging) > 0 {
-		u.setState(UnitStagingOutput)
+		if !u.setStateFrom(lr.gen, UnitStagingOutput) {
+			return
+		}
 		prof.RecordID(u.entityID, vocab.evStageoutStart)
 		if _, err := a.pilot.backend.mover.Run(u.Desc.OutputStaging); err != nil {
-			u.finish(UnitFailed, fmt.Errorf("output staging: %w", err))
+			u.finishFrom(lr.gen, UnitFailed, fmt.Errorf("output staging: %w", err))
+			return
+		}
+		if u.staleGen(lr.gen) {
 			return
 		}
 		prof.RecordID(u.entityID, vocab.evStageoutStop)
 	}
 
-	u.finish(UnitDone, nil)
+	u.finishFrom(lr.gen, UnitDone, nil)
 }
 
 func (a *agent) isStopped() bool {

@@ -110,9 +110,56 @@ type ComputePilot struct {
 
 	mu       sync.Mutex
 	state    PilotState
+	fault    error // injected-fault cause; nil for natural lifecycles
 	activeEv *vclock.Event
 	finalEv  *vclock.Event
 }
+
+// Kill terminates the pilot abnormally at the current instant — the
+// fault-injection path. The placeholder job dies resource-side (no client
+// network latency, unlike Cancel), the teardown watcher maps the death to
+// FAILED, and with a recovery path installed the agent returns its
+// backlog for rebinding instead of failing it. cause is retained for
+// FaultCause.
+func (p *ComputePilot) Kill(cause error) {
+	p.mu.Lock()
+	if p.fault == nil {
+		p.fault = cause
+	}
+	p.mu.Unlock()
+	p.job.Kill()
+}
+
+// FaultCause returns the injected-fault cause recorded by Kill, nil for
+// pilots that died (or live) naturally.
+func (p *ComputePilot) FaultCause() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fault
+}
+
+// CapacityCores reports the pilot's live capacity: the static allocation
+// minus nodes lost to injected faults. Placement eligibility and agent
+// admission both use it, so a shrunken pilot neither attracts nor wedges
+// units it can no longer hold.
+func (p *ComputePilot) CapacityCores() int { return p.agent.capacityCores() }
+
+// SetRecovery installs the rebind path: fn receives the units displaced
+// when the pilot dies (or a submission lands after its death) instead of
+// those units failing with the stop cause. Installing it also turns on
+// in-flight tracking, so running units can be stolen at teardown. Install
+// before the pilot activates, or placements made earlier escape tracking.
+func (p *ComputePilot) SetRecovery(fn func([]*ComputeUnit)) { p.agent.setRecovery(fn) }
+
+// DrainPending withdraws and returns the pilot's live pending backlog
+// without stopping it — the ResourceSet.DrainPilot path. Withdraw the
+// pilot from unit scheduling first, or new work keeps arriving.
+func (p *ComputePilot) DrainPending() []*ComputeUnit { return p.agent.drainPending() }
+
+// Quiesced returns an event that fires once the pilot has no running
+// unit. Arm it only after the pending backlog is drained and no more
+// work will be dispatched here.
+func (p *ComputePilot) Quiesced() *vclock.Event { return p.agent.quiesce() }
 
 // Entity returns the pilot's profiler entity key.
 func (p *ComputePilot) Entity() string { return p.entity }
@@ -286,9 +333,14 @@ func (pm *PilotManager) Submit(desc PilotDescription) (*ComputePilot, error) {
 	})
 
 	// Teardown watcher: job reaches a final state -> agent stops, queued
-	// units fail, waiters release.
+	// units fail, waiters release. An injected fault (Kill) forces FAILED
+	// whatever the job backend reported; with a recovery path installed
+	// the agent's backlog is returned for rebinding instead of failed.
 	pm.sess.V.Go(func() {
 		st := job.WaitFinal()
+		if p.FaultCause() != nil {
+			st = saga.Failed
+		}
 		switch st {
 		case saga.Done:
 			p.setState(PilotDone)
@@ -298,7 +350,17 @@ func (pm *PilotManager) Submit(desc PilotDescription) (*ComputePilot, error) {
 			p.setState(PilotFailed)
 		}
 		pm.sess.Prof.RecordID(p.entityID, pm.sess.vocab.evFinal)
-		p.agent.stop(fmt.Errorf("pilot %d terminated (%v)", p.ID, p.State()))
+		cause := fmt.Errorf("pilot %d terminated (%v)", p.ID, p.State())
+		if fc := p.FaultCause(); fc != nil {
+			cause = fmt.Errorf("pilot %d terminated (%v): %w", p.ID, p.State(), fc)
+		}
+		if rec := p.agent.recovery(); rec != nil {
+			if returned := p.agent.stopWithReturn(cause); len(returned) > 0 {
+				rec(returned)
+			}
+		} else {
+			p.agent.stop(cause)
+		}
 		p.activeEv.Fire() // release WaitActive callers on early death
 		p.finalEv.Fire()
 	})

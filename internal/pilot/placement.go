@@ -42,7 +42,9 @@ func eligible(d *UnitDescription, p *ComputePilot) bool {
 	if p.State().Final() {
 		return false
 	}
-	if d.Cores > p.Desc.Cores {
+	// Live capacity, not the static allocation: a pilot shrunk by node
+	// loss must not attract units only its lost nodes could have held.
+	if d.Cores > p.CapacityCores() {
 		return false
 	}
 	if !d.MPI && d.Cores > p.Machine().CoresPerNode {

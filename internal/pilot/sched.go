@@ -76,6 +76,13 @@ type scheduler interface {
 	maxNodeFree() int
 	// capacity reports the total cores the scheduler manages.
 	capacity() int
+	// markDown removes node i from service — the fault-injection path
+	// for node loss: its free cores leave the pool and its capacity is
+	// forgotten, so no future placement lands there. Cores currently
+	// allocated on the node are the agent's to drop at release time
+	// (release must never be called with shares on a downed node).
+	// Returns the capacity removed.
+	markDown(node int) int
 	// nodeFree snapshots per-node free cores (tests and diagnostics).
 	nodeFree() []int
 }
@@ -198,6 +205,13 @@ func (s *rescanSched) capacity() int {
 		total += c
 	}
 	return total
+}
+
+func (s *rescanSched) markDown(i int) int {
+	c := s.caps[i]
+	s.nodes[i] = 0
+	s.caps[i] = 0
+	return c
 }
 
 func (s *rescanSched) nodeFree() []int { return append([]int(nil), s.nodes...) }
@@ -386,5 +400,13 @@ func (s *indexedSched) release(alloc allocation) {
 func (s *indexedSched) freeCores() int   { return s.total }
 func (s *indexedSched) maxNodeFree() int { return s.tree[1] }
 func (s *indexedSched) capacity() int    { return s.cap }
+
+func (s *indexedSched) markDown(i int) int {
+	s.setFree(i, 0)
+	c := s.caps[i]
+	s.cap -= c
+	s.caps[i] = 0
+	return c
+}
 
 func (s *indexedSched) nodeFree() []int { return append([]int(nil), s.nodes...) }

@@ -164,6 +164,13 @@ type ComputeUnit struct {
 	stopped  time.Duration // exec stop (virtual)
 	finalEv  vclock.Event  // embedded: one allocation per unit, not two
 	canceled bool          // cancellation requested
+	// gen is the rebind generation. When a pilot dies with a recovery
+	// path installed, its teardown steals the unit — bumping gen — and
+	// rebinding re-runs it elsewhere; the stale executor still holds the
+	// old generation, so its remaining effects (state transitions, exec
+	// window, finish) are discarded by the *From accessors below. Zero
+	// for the whole life of any unit that is never stolen.
+	gen int
 
 	// pendIn/pendTomb are the segmented pending queue's bookkeeping
 	// (pendq.go), guarded by the owning agent's mu — NOT by u.mu: pendIn
@@ -271,9 +278,15 @@ func (u *ComputeUnit) setState(st UnitState) {
 }
 
 // finish moves the unit to a terminal state and fires its final event.
-func (u *ComputeUnit) finish(st UnitState, err error) {
+func (u *ComputeUnit) finish(st UnitState, err error) { u.finishFrom(-1, st, err) }
+
+// finishFrom is finish gated on the rebind generation: a stale executor
+// (gen >= 0, no longer current) must not settle a unit that was stolen
+// and re-dispatched. gen < 0 disables the gate (external finishers, and
+// agents that do not track in-flight work).
+func (u *ComputeUnit) finishFrom(gen int, st UnitState, err error) {
 	u.mu.Lock()
-	if u.state.Final() {
+	if (gen >= 0 && gen != u.gen) || u.state.Final() {
 		u.mu.Unlock()
 		return
 	}
@@ -287,9 +300,67 @@ func (u *ComputeUnit) finish(st UnitState, err error) {
 	u.finalEv.Fire()
 }
 
-// markExec records the execution window for ExecDuration.
-func (u *ComputeUnit) markExec(start, stop time.Duration) {
+// setStateFrom is setState gated on the rebind generation, reporting
+// whether the transition (and its profiler record) happened.
+func (u *ComputeUnit) setStateFrom(gen int, st UnitState) bool {
 	u.mu.Lock()
-	u.started, u.stopped = start, stop
+	if (gen >= 0 && gen != u.gen) || u.state.Final() {
+		u.mu.Unlock()
+		return false
+	}
+	u.state = st
 	u.mu.Unlock()
+	u.sess.Prof.RecordID(u.entityID, u.sess.unitStateName(st))
+	return true
+}
+
+// markExecFrom records the execution window for ExecDuration, gated on
+// the rebind generation; a false return tells the (stale) executor to
+// abandon the unit — the exec-stop record, utilization bump, and finish
+// all belong to the rebound run.
+func (u *ComputeUnit) markExecFrom(gen int, start, stop time.Duration) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if gen >= 0 && gen != u.gen {
+		return false
+	}
+	u.started, u.stopped = start, stop
+	return true
+}
+
+// staleGen reports whether gen is an outdated rebind generation.
+func (u *ComputeUnit) staleGen(gen int) bool {
+	if gen < 0 {
+		return false
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return gen != u.gen
+}
+
+// generation snapshots the current rebind generation; the agent captures
+// it at placement so the executor's effects can be matched to the
+// placement they came from.
+func (u *ComputeUnit) generation() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.gen
+}
+
+// steal reclaims a non-final unit from a dead (or shrinking) pilot for
+// rebinding: the generation is bumped — discarding every later effect of
+// the stale executor — and the exec window is cleared for the re-run.
+// The stale executor itself cannot be interrupted mid-Sleep (virtual
+// time has no cancellable timer); it wakes no later than the rebound
+// replacement finishes (its sleep started earlier and runs the same
+// modelled duration) and exits at its next generation gate.
+func (u *ComputeUnit) steal() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.state.Final() {
+		return false
+	}
+	u.gen++
+	u.started, u.stopped = 0, 0
+	return true
 }

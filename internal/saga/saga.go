@@ -100,6 +100,11 @@ type Job interface {
 	WaitFinal() State
 	// Cancel requests cancellation.
 	Cancel()
+	// Kill terminates the job abnormally on the resource side, as a
+	// walltime kill or node failure would: the job ends Failed, and —
+	// unlike Cancel — no client network latency is charged, so the death
+	// lands at exactly the caller's instant. Fault injection uses it.
+	Kill()
 	// SignalDone marks the payload complete; the simulation stand-in for
 	// the job script exiting with status 0.
 	SignalDone()
@@ -189,6 +194,8 @@ func (j *batchJob) Cancel() {
 	j.job.Cancel()
 }
 
+func (j *batchJob) Kill() { j.job.Expire() }
+
 func (j *batchJob) SignalDone() { j.job.Finish() }
 
 // ---------------------------------------------------------------------------
@@ -259,6 +266,7 @@ func (j *forkJob) WaitFinal() State {
 }
 
 func (j *forkJob) Cancel()     { j.finish(Canceled) }
+func (j *forkJob) Kill()       { j.finish(Failed) }
 func (j *forkJob) SignalDone() { j.finish(Done) }
 
 func (j *forkJob) finish(st State) {

@@ -139,6 +139,20 @@ func (v *Virtual) Run(fn func()) {
 	fn()
 }
 
+// After schedules fn to run at virtual instant Now()+d as its own
+// registered process. It is the arming primitive behind deterministic
+// fault injection: the trigger process is counted runnable from the
+// moment After returns, so the clock can neither advance past the
+// pending trigger nor fire it early — fn runs at exactly the requested
+// instant, bit-reproducibly. fn must follow the same rules as a Go
+// process body.
+func (v *Virtual) After(d time.Duration, fn func()) {
+	v.Go(func() {
+		v.Sleep(d)
+		fn()
+	})
+}
+
 // Detach removes the calling process from the runnable accounting, as if
 // it had exited. It exists for worker pools that keep goroutines alive
 // between simulated tasks: a detached goroutine is invisible to the
