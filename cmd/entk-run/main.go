@@ -1,180 +1,158 @@
-// Command entk-run executes an ensemble application described by a JSON
+// Command entk-run executes an ensemble campaign described by a JSON
 // file, for experimenting with workloads without writing Go:
 //
-//	entk-run app.json
+//	entk-run campaign.json
 //
-// Example description (ensemble of pipelines):
+// The description names resources and a workload. Resources are either
+// the legacy single-pilot triple (resource/cores/walltime_min at the
+// top level) or a "resources" list of pilots with an optional
+// "placement" policy (round_robin, least_loaded, tag_affinity, or
+// tag_affinity+least_loaded). The workload is either an explicit
+// pipelines/stages/tasks graph:
 //
 //	{
-//	  "resource": "xsede.comet",
-//	  "cores": 48,
-//	  "walltime_min": 120,
-//	  "pattern": {
-//	    "type": "eop",
-//	    "pipelines": 24,
-//	    "stages": [
-//	      {"name": "misc.mkfile", "params": {"size_mb": 10}},
-//	      {"name": "misc.ccount", "params": {"size_mb": 10}}
-//	    ]
-//	  }
+//	  "resources": [
+//	    {"resource": "xsede.comet", "cores": 48, "walltime_min": 120},
+//	    {"resource": "xsede.stampede", "cores": 64, "walltime_min": 120, "tags": ["mpi"]}
+//	  ],
+//	  "placement": "tag_affinity",
+//	  "pipelines": [
+//	    {"name": "md", "stages": [
+//	      {"name": "sim", "tasks": [
+//	        {"name": "eq", "count": 16,
+//	         "kernel": {"name": "misc.sleep", "params": {"seconds": 60}}}
+//	      ]}
+//	    ]}
+//	  ]
 //	}
 //
-// EE uses "type": "ee" with "replicas", "cycles", "simulation",
-// "exchange" (and optional "pairwise": true); SAL uses "type": "sal"
-// with "iterations", "simulations", "analyses", "simulation",
-// "analysis".
+// or one of the classic patterns under "pattern": "eop" with
+// "pipelines" and "stages"; "ee" with "replicas", "cycles",
+// "simulation", "exchange" (and optional "pairwise": true); "sal" with
+// "iterations", "simulations", "analyses", "simulation", "analysis".
+// Task entries take "count" (replica expansion), "retries", and
+// kernel-level "cores"/"mpi"/"tags"; stages take "streamed". Unknown
+// fields are rejected with their line number.
+//
+// Beyond printing the report, the runner checks campaign semantics
+// against recorded evidence:
+//
+//	entk-run -record golden.trace campaign.json   # persist the run's trace
+//	entk-run -check golden.trace campaign.json    # diff the run against it
+//	entk-run -assert asserts.json campaign.json   # declarative trace assertions
+//
+// -check exits nonzero on divergence, rendering the differing entities'
+// virtual-time timelines side by side; -assert does the same for unmet
+// expectations. -engine (handoff|ref) and -layout (columnar|ref) select
+// the simulation substrate; goldens recorded on one substrate are
+// comparable across layouts always, and across engines for campaigns
+// whose unit numbering does not depend on same-instant wake order
+// (single-pipeline campaigns).
 package main
 
 import (
-	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"os"
-	"time"
 
-	"entk"
+	"entk/internal/campaign"
 )
 
-// kernelJSON is the JSON form of a kernel invocation.
-type kernelJSON struct {
-	Name   string             `json:"name"`
-	Params map[string]float64 `json:"params"`
-	Cores  int                `json:"cores"`
-	MPI    bool               `json:"mpi"`
-}
-
-func (k *kernelJSON) kernel() *entk.Kernel {
-	if k == nil {
-		return nil
-	}
-	return &entk.Kernel{Name: k.Name, Params: k.Params, Cores: k.Cores, MPI: k.MPI}
-}
-
-// patternJSON is the JSON form of a pattern parametrisation.
-type patternJSON struct {
-	Type string `json:"type"` // "eop", "ee", "sal"
-
-	// eop
-	Pipelines int          `json:"pipelines"`
-	Stages    []kernelJSON `json:"stages"`
-
-	// ee
-	Replicas   int         `json:"replicas"`
-	Cycles     int         `json:"cycles"`
-	Simulation *kernelJSON `json:"simulation"`
-	Exchange   *kernelJSON `json:"exchange"`
-	Pairwise   bool        `json:"pairwise"`
-
-	// sal
-	Iterations  int         `json:"iterations"`
-	Simulations int         `json:"simulations"`
-	Analyses    int         `json:"analyses"`
-	Analysis    *kernelJSON `json:"analysis"`
-}
-
-// appJSON is the top-level application description.
-type appJSON struct {
-	Resource    string      `json:"resource"`
-	Cores       int         `json:"cores"`
-	WalltimeMin int         `json:"walltime_min"`
-	Pattern     patternJSON `json:"pattern"`
-}
-
-func (a *appJSON) pattern() (entk.Pattern, error) {
-	p := &a.Pattern
-	switch p.Type {
-	case "eop":
-		if len(p.Stages) == 0 {
-			return nil, fmt.Errorf("eop pattern needs stages")
-		}
-		stages := make([]*entk.Kernel, len(p.Stages))
-		for i := range p.Stages {
-			stages[i] = p.Stages[i].kernel()
-		}
-		return &entk.EnsembleOfPipelines{
-			Pipelines: p.Pipelines,
-			Stages:    len(stages),
-			StageKernel: func(stage, pipe int) *entk.Kernel {
-				k := *stages[stage-1] // copy so tasks don't share state
-				return &k
-			},
-		}, nil
-	case "ee":
-		if p.Simulation == nil || p.Exchange == nil {
-			return nil, fmt.Errorf("ee pattern needs simulation and exchange kernels")
-		}
-		mode := entk.CollectiveExchange
-		if p.Pairwise {
-			mode = entk.PairwiseExchange
-		}
-		return &entk.EnsembleExchange{
-			Replicas: p.Replicas,
-			Cycles:   p.Cycles,
-			Mode:     mode,
-			SimulationKernel: func(cycle, r int) *entk.Kernel {
-				k := *p.Simulation.kernel()
-				return &k
-			},
-			ExchangeKernel: func(cycle int) *entk.Kernel {
-				k := *p.Exchange.kernel()
-				return &k
-			},
-		}, nil
-	case "sal":
-		if p.Simulation == nil || p.Analysis == nil {
-			return nil, fmt.Errorf("sal pattern needs simulation and analysis kernels")
-		}
-		return &entk.SimulationAnalysisLoop{
-			Iterations:  p.Iterations,
-			Simulations: p.Simulations,
-			Analyses:    p.Analyses,
-			SimulationKernel: func(it, i int) *entk.Kernel {
-				k := *p.Simulation.kernel()
-				return &k
-			},
-			AnalysisKernel: func(it, i int) *entk.Kernel {
-				k := *p.Analysis.kernel()
-				return &k
-			},
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown pattern type %q (want eop, ee, or sal)", p.Type)
-	}
-}
+// The original runner's JSON types survive as aliases of the campaign
+// schema: descriptions written against the old single-pilot pattern
+// form parse unchanged.
+type (
+	kernelJSON  = campaign.Kernel
+	patternJSON = campaign.Pattern
+	appJSON     = campaign.Campaign
+)
 
 func main() {
 	log.SetFlags(0)
-	if len(os.Args) != 2 {
-		log.Fatal("usage: entk-run <app.json>")
+	var (
+		record  = flag.String("record", "", "write the run's trace to this golden file")
+		check   = flag.String("check", "", "diff the run's trace against this golden file")
+		asserts = flag.String("assert", "", "check the run's trace against this assertion spec file")
+		engine  = flag.String("engine", "handoff", "clock engine: handoff or ref")
+		layout  = flag.String("layout", "columnar", "profiler layout: columnar or ref")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(), "usage: entk-run [flags] <campaign.json>")
+		flag.PrintDefaults()
 	}
-	raw, err := os.ReadFile(os.Args[1])
-	if err != nil {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	var opts campaign.Options
+	var err error
+	if opts.Engine, err = campaign.ParseEngine(*engine); err != nil {
 		log.Fatalf("entk-run: %v", err)
 	}
-	var app appJSON
-	if err := json.Unmarshal(raw, &app); err != nil {
-		log.Fatalf("entk-run: parsing %s: %v", os.Args[1], err)
-	}
-	pattern, err := app.pattern()
-	if err != nil {
+	if opts.Layout, err = campaign.ParseLayout(*layout); err != nil {
 		log.Fatalf("entk-run: %v", err)
-	}
-	if app.WalltimeMin <= 0 {
-		app.WalltimeMin = 60
 	}
 
-	v := entk.NewClock()
-	handle, err := entk.NewResourceHandle(app.Resource, app.Cores,
-		time.Duration(app.WalltimeMin)*time.Minute, entk.Config{Clock: v})
+	f, err := os.Open(path)
 	if err != nil {
 		log.Fatalf("entk-run: %v", err)
 	}
-	var report *entk.Report
-	v.Run(func() {
-		report, err = handle.Execute(pattern)
-	})
+	c, err := campaign.Parse(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("entk-run: %s: %v", path, err)
+	}
+
+	res, err := campaign.Run(c, opts)
 	if err != nil {
 		log.Fatalf("entk-run: %v", err)
 	}
-	fmt.Print(report)
+	fmt.Print(res.Summary())
+
+	fail := false
+	if *asserts != "" {
+		af, err := os.Open(*asserts)
+		if err != nil {
+			log.Fatalf("entk-run: %v", err)
+		}
+		specs, err := campaign.ParseAsserts(af)
+		af.Close()
+		if err != nil {
+			log.Fatalf("entk-run: %s: %v", *asserts, err)
+		}
+		fails := campaign.CheckAsserts(res.Prof, specs)
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		if len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "entk-run: %d of %d assertions failed\n", len(fails), len(specs))
+			fail = true
+		}
+	}
+	if *check != "" {
+		want, err := campaign.LoadGolden(*check)
+		if err != nil {
+			log.Fatalf("entk-run: %v", err)
+		}
+		if diffs := campaign.DiffTraces(res.Prof, want); len(diffs) > 0 {
+			fmt.Fprint(os.Stderr, campaign.RenderDiffs(diffs, 5))
+			fmt.Fprintf(os.Stderr, "entk-run: trace diverges from golden %s on %d entities\n",
+				*check, len(diffs))
+			fail = true
+		}
+	}
+	if *record != "" {
+		if err := campaign.WriteGolden(*record, res.Prof); err != nil {
+			log.Fatalf("entk-run: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "entk-run: recorded %d events to %s\n",
+			res.Prof.EventCount(), *record)
+	}
+	if fail {
+		os.Exit(1)
+	}
 }

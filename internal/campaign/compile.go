@@ -1,0 +1,158 @@
+// Lowering: a validated Campaign compiles onto the toolkit's Go API —
+// pilot specs for the binding, a placement policy, and either graph
+// pipelines for the AppManager or a classic pattern value. The
+// compiled form is exactly what a Go program would have constructed by
+// hand; report-parity tests pin that equivalence.
+
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"entk"
+)
+
+// defaultWalltime applies when a resource omits walltime_min, matching
+// the runner's historic default.
+const defaultWalltime = 60 * time.Minute
+
+// kernel compiles the JSON kernel to the toolkit form. Each call
+// returns a fresh value so expanded task replicas don't share state.
+func (k *Kernel) kernel() *entk.Kernel {
+	if k == nil {
+		return nil
+	}
+	return &entk.Kernel{Name: k.Name, Params: k.Params, Cores: k.Cores, MPI: k.MPI, Tags: k.Tags}
+}
+
+// Specs compiles the resource section to pilot specs — one for the
+// legacy top-level form, one per entry of the resources list.
+func (c *Campaign) Specs() []entk.PilotSpec {
+	walltime := func(min int) time.Duration {
+		if min <= 0 {
+			return defaultWalltime
+		}
+		return time.Duration(min) * time.Minute
+	}
+	if c.Resource != "" {
+		return []entk.PilotSpec{{
+			Resource: c.Resource, Cores: c.Cores, Walltime: walltime(c.WalltimeMin),
+		}}
+	}
+	specs := make([]entk.PilotSpec, len(c.Resources))
+	for i, p := range c.Resources {
+		specs[i] = entk.PilotSpec{
+			Resource: p.Resource, Cores: p.Cores, Walltime: walltime(p.WalltimeMin),
+			Queue: p.Queue, Project: p.Project, Tags: p.Tags,
+		}
+	}
+	return specs
+}
+
+// PlacementPolicy compiles the placement selector; nil means "keep the
+// binding's default" (round-robin on multi-pilot sets).
+func (c *Campaign) PlacementPolicy() entk.PlacementPolicy {
+	switch c.Placement {
+	case "least_loaded":
+		return entk.PlaceLeastLoaded()
+	case "tag_affinity":
+		return entk.PlaceTagAffinity(nil)
+	case "tag_affinity+least_loaded":
+		return entk.PlaceTagAffinity(entk.PlaceLeastLoaded())
+	default:
+		return nil
+	}
+}
+
+// GraphPipelines compiles the explicit graph form, expanding each task
+// entry's count into that many tasks. Returns nil when the campaign
+// uses the pattern form.
+func (c *Campaign) GraphPipelines() []*entk.Pipeline {
+	if len(c.Pipelines) == 0 {
+		return nil
+	}
+	out := make([]*entk.Pipeline, len(c.Pipelines))
+	for i, pl := range c.Pipelines {
+		stages := make([]*entk.Stage, len(pl.Stages))
+		for s, st := range pl.Stages {
+			var tasks []entk.Task
+			for _, t := range st.Tasks {
+				count := t.Count
+				if count == 0 {
+					count = 1
+				}
+				for r := 1; r <= count; r++ {
+					name := t.Name
+					if name != "" && count > 1 {
+						name = fmt.Sprintf("%s.%04d", t.Name, r)
+					}
+					tasks = append(tasks, entk.Task{
+						Name: name, Kernel: t.Kernel.kernel(), Retries: t.Retries,
+					})
+				}
+			}
+			stages[s] = &entk.Stage{Name: st.Name, Tasks: tasks, Streamed: st.Streamed}
+		}
+		out[i] = &entk.Pipeline{Name: pl.Name, Stages: stages}
+	}
+	return out
+}
+
+// LegacyPattern compiles the classic pattern form (eop/ee/sal).
+// Returns nil when the campaign uses the graph form. Validation has
+// already checked the required kernels, so compilation cannot fail.
+func (c *Campaign) LegacyPattern() entk.Pattern {
+	p := c.Pattern
+	if p == nil {
+		return nil
+	}
+	switch p.Type {
+	case "eop":
+		stages := make([]*entk.Kernel, len(p.Stages))
+		for i := range p.Stages {
+			stages[i] = p.Stages[i].kernel()
+		}
+		return &entk.EnsembleOfPipelines{
+			Pipelines: p.Pipelines,
+			Stages:    len(stages),
+			StageKernel: func(stage, pipe int) *entk.Kernel {
+				k := *stages[stage-1] // copy so tasks don't share state
+				return &k
+			},
+		}
+	case "ee":
+		mode := entk.CollectiveExchange
+		if p.Pairwise {
+			mode = entk.PairwiseExchange
+		}
+		return &entk.EnsembleExchange{
+			Replicas: p.Replicas,
+			Cycles:   p.Cycles,
+			Mode:     mode,
+			SimulationKernel: func(cycle, r int) *entk.Kernel {
+				k := *p.Simulation.kernel()
+				return &k
+			},
+			ExchangeKernel: func(cycle int) *entk.Kernel {
+				k := *p.Exchange.kernel()
+				return &k
+			},
+		}
+	case "sal":
+		return &entk.SimulationAnalysisLoop{
+			Iterations:  p.Iterations,
+			Simulations: p.Simulations,
+			Analyses:    p.Analyses,
+			SimulationKernel: func(it, i int) *entk.Kernel {
+				k := *p.Simulation.kernel()
+				return &k
+			},
+			AnalysisKernel: func(it, i int) *entk.Kernel {
+				k := *p.Analysis.kernel()
+				return &k
+			},
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Golden traces: a recorded run's full event trace, persisted with
+// profile.WriteTo, becomes a regression fixture. A later run is
+// checked by comparing per-entity event sequences — sorted by (T,
+// Name) within each entity, so equal-instant recording interleavings
+// don't register — and a divergence renders both timelines side by
+// side with the first differing event marked.
+
+package campaign
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"entk/internal/profile"
+	"entk/internal/vclock"
+)
+
+// WriteGolden persists a run's trace as a golden fixture.
+func WriteGolden(path string, p *profile.Profiler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := p.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("campaign: writing golden %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadGolden reads a golden fixture back into a fresh profiler.
+func LoadGolden(path string) (*profile.Profiler, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p := profile.New(vclock.NewVirtual())
+	if _, err := p.ReadFrom(f); err != nil {
+		return nil, fmt.Errorf("campaign: reading golden %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// EntityDiff is one entity whose event sequence diverges between a run
+// and its golden.
+type EntityDiff struct {
+	// Entity is the diverging entity ("" never occurs; an entity
+	// present on only one side still diffs under its name).
+	Entity string
+	// Index is the position (in the (T, Name)-sorted sequence) of the
+	// first differing event.
+	Index int
+	// Got and Want are the (T, Name)-sorted sequences on each side.
+	Got, Want []profile.Event
+}
+
+// DiffTraces compares two traces entity by entity and returns one diff
+// per diverging entity, sorted by entity name. Empty means the traces
+// agree event-for-event on every entity.
+func DiffTraces(got, want *profile.Profiler) []EntityDiff {
+	g := entityEvents(got, "")
+	w := entityEvents(want, "")
+	names := map[string]bool{}
+	for e := range g {
+		names[e] = true
+	}
+	for e := range w {
+		names[e] = true
+	}
+	var diffs []EntityDiff
+	for e := range names {
+		ge, we := g[e], w[e]
+		if i, same := firstDivergence(ge, we); !same {
+			diffs = append(diffs, EntityDiff{Entity: e, Index: i, Got: ge, Want: we})
+		}
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].Entity < diffs[j].Entity })
+	return diffs
+}
+
+// firstDivergence finds the first index where the sequences disagree;
+// same is true when they match in full.
+func firstDivergence(a, b []profile.Event) (int, bool) {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i].T != b[i].T || a[i].Name != b[i].Name {
+			return i, false
+		}
+	}
+	if len(a) != len(b) {
+		return n, false
+	}
+	return 0, true
+}
+
+// diffContext is how many matching events are shown on each side of
+// the first divergence when rendering.
+const diffContext = 3
+
+// RenderDiffs renders entity diffs as side-by-side virtual-time
+// timelines, the first divergent row marked with "!". At most maxEnts
+// entities are rendered in full; the rest are summarised by name so a
+// wholesale divergence doesn't scroll for pages.
+func RenderDiffs(diffs []EntityDiff, maxEnts int) string {
+	var b strings.Builder
+	for i, d := range diffs {
+		if i >= maxEnts {
+			rest := make([]string, 0, len(diffs)-i)
+			for _, r := range diffs[i:] {
+				rest = append(rest, r.Entity)
+			}
+			fmt.Fprintf(&b, "... and %d more diverging entities: %s\n",
+				len(rest), strings.Join(rest, ", "))
+			break
+		}
+		fmt.Fprintf(&b, "entity %s diverges at event %d:\n", d.Entity, d.Index)
+		lo := d.Index - diffContext
+		if lo < 0 {
+			lo = 0
+		}
+		hi := d.Index + diffContext + 1
+		fmt.Fprintf(&b, "  %-36s %s\n", "got", "want")
+		for row := lo; row < hi; row++ {
+			gs, ws := eventAt(d.Got, row), eventAt(d.Want, row)
+			if gs == "" && ws == "" {
+				break
+			}
+			marker := " "
+			if row == d.Index {
+				marker = "!"
+			}
+			fmt.Fprintf(&b, "%s %-36s %s\n", marker, gs, ws)
+		}
+	}
+	return b.String()
+}
+
+func eventAt(evs []profile.Event, i int) string {
+	if i < 0 || i >= len(evs) {
+		return ""
+	}
+	return fmt.Sprintf("%12v %s", evs[i].T, evs[i].Name)
+}

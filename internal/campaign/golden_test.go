@@ -1,0 +1,206 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entk"
+	"entk/internal/profile"
+	"entk/internal/vclock"
+)
+
+// marshal renders a campaign back to JSON; the fuzz target uses it to
+// prove accepted campaigns re-parse from their own serialisation.
+func marshal(c *Campaign) ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// goldenCases drives the golden-trace regression tier. Single-pipeline
+// campaigns produce the same per-entity sequences on both clock
+// engines (unit numbering cannot race), so one golden covers both;
+// multi-pipeline campaigns may assign unit ids differently at
+// same-instant submissions, so each engine pins its own golden.
+var goldenCases = []struct {
+	fixture   string
+	perEngine bool
+}{
+	{"demo-pipeline", false},
+	{"demo-multipilot", true},
+}
+
+func engineName(e entk.ClockEngine) string {
+	if e == entk.EngineRef {
+		return "ref"
+	}
+	return "handoff"
+}
+
+func goldenFile(fixture string, e entk.ClockEngine, perEngine bool) string {
+	if perEngine {
+		return filepath.Join("testdata", fixture+"."+engineName(e)+".trace")
+	}
+	return filepath.Join("testdata", fixture+".trace")
+}
+
+func loadFixture(t *testing.T, name string) *Campaign {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestGoldenTraces replays the fixture campaigns and diffs their
+// traces against the committed goldens, across both clock engines and
+// both profiler layouts. Regenerate with:
+//
+//	ENTK_REGEN_GOLDEN=1 go test ./internal/campaign -run TestGoldenTraces
+func TestGoldenTraces(t *testing.T) {
+	regen := os.Getenv("ENTK_REGEN_GOLDEN") != ""
+	for _, gc := range goldenCases {
+		c := loadFixture(t, gc.fixture)
+		for _, engine := range []entk.ClockEngine{entk.EngineHandoff, entk.EngineRef} {
+			if regen {
+				// Goldens are recorded on the default (columnar) layout; the
+				// layout loop below proves the ref layout replays identically.
+				res, err := Run(c, Options{Engine: engine})
+				if err != nil {
+					t.Fatal(err)
+				}
+				path := goldenFile(gc.fixture, engine, gc.perEngine)
+				if !gc.perEngine && engine != entk.EngineHandoff {
+					continue // shared golden: record once
+				}
+				if err := WriteGolden(path, res.Prof); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("recorded %s (%d events)", path, res.Prof.EventCount())
+				continue
+			}
+			want, err := LoadGolden(goldenFile(gc.fixture, engine, gc.perEngine))
+			if err != nil {
+				t.Fatalf("%v (regenerate with ENTK_REGEN_GOLDEN=1)", err)
+			}
+			for _, layout := range []entk.ProfilerLayout{entk.ProfLayoutColumnar, entk.ProfLayoutRef} {
+				name := gc.fixture + "/" + engineName(engine) + "/" + layout.String()
+				t.Run(name, func(t *testing.T) {
+					res, err := Run(c, Options{Engine: engine, Layout: layout})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if diffs := DiffTraces(res.Prof, want); len(diffs) > 0 {
+						t.Errorf("trace diverges from golden:\n%s", RenderDiffs(diffs, 3))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBrokenGoldenDiff is the negative control the acceptance criteria
+// call for: a golden with one event renamed (exec_stop -> exec_halt,
+// same byte length, patched directly in the dump's name table) must
+// fail the check, and the rendered diff must name the divergent event
+// inside a per-entity timeline.
+func TestBrokenGoldenDiff(t *testing.T) {
+	raw, err := os.ReadFile(goldenFile("demo-pipeline", entk.EngineHandoff, false))
+	if err != nil {
+		t.Fatalf("%v (regenerate with ENTK_REGEN_GOLDEN=1)", err)
+	}
+	patched := bytes.Replace(raw, []byte("exec_stop"), []byte("exec_halt"), 1)
+	if bytes.Equal(patched, raw) {
+		t.Fatal("golden carries no exec_stop event to break")
+	}
+	want := profile.New(vclock.NewVirtual())
+	if _, err := want.ReadFrom(bytes.NewReader(patched)); err != nil {
+		t.Fatalf("patched golden no longer loads: %v", err)
+	}
+
+	c := loadFixture(t, "demo-pipeline")
+	res, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := DiffTraces(res.Prof, want)
+	if len(diffs) == 0 {
+		t.Fatal("broken golden passed the check")
+	}
+	rendered := RenderDiffs(diffs, 5)
+	if !strings.Contains(rendered, "exec_halt") || !strings.Contains(rendered, "exec_stop") {
+		t.Errorf("rendered diff does not name the divergent event:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "entity ") || !strings.Contains(rendered, "!") {
+		t.Errorf("rendered diff lacks the per-entity timeline marker:\n%s", rendered)
+	}
+}
+
+// TestGoldenRoundTrip pins WriteGolden/LoadGolden as a lossless pair
+// over both profiler layouts: a reloaded golden diffs clean against
+// its source.
+func TestGoldenRoundTrip(t *testing.T) {
+	c := loadFixture(t, "demo-pipeline")
+	for _, layout := range []entk.ProfilerLayout{entk.ProfLayoutColumnar, entk.ProfLayoutRef} {
+		res, err := Run(c, Options{Layout: layout})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "golden.trace")
+		if err := WriteGolden(path, res.Prof); err != nil {
+			t.Fatal(err)
+		}
+		back, err := LoadGolden(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.EventCount() != res.Prof.EventCount() {
+			t.Errorf("layout %v: reloaded %d events, want %d",
+				layout, back.EventCount(), res.Prof.EventCount())
+		}
+		if diffs := DiffTraces(res.Prof, back); len(diffs) > 0 {
+			t.Errorf("layout %v: round trip diverges:\n%s", layout, RenderDiffs(diffs, 3))
+		}
+	}
+}
+
+// FuzzCampaignSchema feeds arbitrary bytes to the strict parser: it
+// must never panic, and whatever it accepts must compile and survive a
+// marshal -> re-parse round trip (the schema prints what it parses).
+func FuzzCampaignSchema(f *testing.F) {
+	f.Add([]byte(validGraphJSON))
+	f.Add([]byte(parityJSON))
+	f.Add([]byte(`{"resource": "xsede.comet", "cores": 48,
+	  "pattern": {"type": "sal", "iterations": 2, "simulations": 4, "analyses": 1,
+	    "simulation": {"name": "misc.sleep", "params": {"seconds": 5}},
+	    "analysis": {"name": "misc.ccount", "params": {"size_mb": 1}}}}`))
+	f.Add([]byte(`{"coers": 48}`))
+	f.Add([]byte(`[1, 2`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted campaigns must compile without panicking...
+		_ = c.Specs()
+		_ = c.PlacementPolicy()
+		_ = c.GraphPipelines()
+		_ = c.LegacyPattern()
+		// ...and re-parse from their own serialisation.
+		out, err := marshal(c)
+		if err != nil {
+			t.Fatalf("accepted campaign fails to marshal: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(out)); err != nil {
+			t.Fatalf("marshalled campaign fails to re-parse: %v\n%s", err, out)
+		}
+	})
+}

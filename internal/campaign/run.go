@@ -1,0 +1,121 @@
+// Execution driver: compile a campaign, stand up the binding on a
+// fresh virtual clock, and run it to completion. The driver is what
+// cmd/entk-run and the golden-trace tests share, so a trace recorded
+// by the CLI and one recorded by a test are produced by the same code
+// path.
+
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"entk"
+	"entk/internal/profile"
+)
+
+// Options selects the simulation substrate for one run. The zero value
+// is the production default (handoff clock engine, columnar profiler).
+type Options struct {
+	Engine entk.ClockEngine
+	Layout entk.ProfilerLayout
+}
+
+// ParseEngine maps a CLI selector to a clock engine.
+func ParseEngine(s string) (entk.ClockEngine, error) {
+	switch s {
+	case "", "handoff":
+		return entk.EngineHandoff, nil
+	case "ref":
+		return entk.EngineRef, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown clock engine %q (want handoff or ref)", s)
+}
+
+// ParseLayout maps a CLI selector to a profiler layout.
+func ParseLayout(s string) (entk.ProfilerLayout, error) {
+	switch s {
+	case "", "columnar":
+		return entk.ProfLayoutColumnar, nil
+	case "ref":
+		return entk.ProfLayoutRef, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown profiler layout %q (want columnar or ref)", s)
+}
+
+// Result is one campaign execution: the report for whichever workload
+// form ran, plus the session profiler holding the full event trace.
+type Result struct {
+	// Campaign is set for graph-form campaigns (pipelines).
+	Campaign *entk.CampaignReport
+	// Report is set for pattern-form campaigns (eop/ee/sal).
+	Report *entk.Report
+	// Prof is the run's profiler; feed it to CheckAsserts, DiffTraces,
+	// or WriteGolden.
+	Prof *profile.Profiler
+}
+
+// Summary renders the run for the terminal: the classic report table
+// for pattern campaigns; the campaign table plus per-pipeline and
+// per-pilot rows for graph campaigns.
+func (r *Result) Summary() string {
+	if r.Report != nil {
+		return r.Report.String()
+	}
+	if r.Campaign == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(r.Campaign.Campaign.String())
+	for _, pr := range r.Campaign.Pipelines {
+		fmt.Fprintf(&b, "pipeline %-12s tasks=%-5d retries=%-3d TTC %10.2fs\n",
+			pr.Pattern, pr.Tasks, pr.Retries, pr.TTC.Seconds())
+	}
+	for _, pu := range r.Campaign.Pilots {
+		fmt.Fprintf(&b, "pilot %d %-18s cores=%-4d units=%-5d busy %10.2fs util %5.1f%%\n",
+			pu.Pilot, pu.Resource, pu.Cores, pu.Units, pu.CoreBusy.Seconds(), 100*pu.Utilization)
+	}
+	return b.String()
+}
+
+// Run executes a validated campaign on a fresh clock and binding. A
+// failing workload still returns the Result alongside the error — the
+// trace evidence of a failed run is exactly what post-mortem assertion
+// checks want.
+func Run(c *Campaign, opts Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	v := entk.NewClockEngine(opts.Engine)
+	cfg := entk.Config{Clock: v}
+	// Core only fills runtime defaults for a wholly-zero Runtime, so
+	// start from the defaults before selecting the profiler layout.
+	cfg.Runtime = entk.DefaultRuntimeConfig()
+	cfg.Runtime.ProfLayout = opts.Layout
+	if c.Runtime != nil {
+		cfg.MaxRetries = c.Runtime.MaxRetries
+	}
+	rs, err := entk.NewResourceSet(c.Specs(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	if pol := c.PlacementPolicy(); pol != nil {
+		rs.Placement = pol
+	}
+
+	res := &Result{}
+	var runErr error
+	v.Run(func() {
+		if runErr = rs.Allocate(); runErr != nil {
+			return
+		}
+		defer rs.Deallocate()
+		if c.Pattern != nil {
+			res.Report, runErr = rs.Run(c.LegacyPattern())
+		} else {
+			res.Campaign, runErr = entk.NewAppManager(rs).Run(c.GraphPipelines()...)
+		}
+	})
+	res.Prof = rs.Session().Prof
+	return res, runErr
+}

@@ -1,0 +1,341 @@
+// Package campaign loads declarative campaign descriptions — the JSON
+// schema behind cmd/entk-run — and compiles them onto the toolkit's
+// graph API.
+//
+// A campaign names its resources (one pilot or several, with a
+// placement policy) and its workload (an explicit pipelines/stages/
+// tasks graph, or one of the classic eop/ee/sal patterns), without
+// writing Go. The package also carries the trace-assertion harness the
+// runner's -assert/-record/-check modes use: expected-event specs
+// checked against the run's profiler, and golden-trace diffing with
+// per-entity virtual-time timelines on divergence.
+//
+// Parsing is strict: unknown fields are rejected with the line they
+// appear on, so a typo'd key fails loudly instead of silently running
+// a different experiment.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Kernel is the JSON form of a kernel invocation. It mirrors the
+// cost-model-relevant subset of entk.Kernel.
+type Kernel struct {
+	Name   string             `json:"name"`
+	Params map[string]float64 `json:"params,omitempty"`
+	Cores  int                `json:"cores,omitempty"`
+	MPI    bool               `json:"mpi,omitempty"`
+	// Tags request pilot affinity under a tag_affinity placement.
+	Tags []string `json:"tags,omitempty"`
+}
+
+// Task is one graph node: a kernel invocation, optionally replicated.
+type Task struct {
+	// Name labels the task; with Count > 1 replicas are suffixed
+	// ".0001", ".0002", ... Empty names take the runtime default.
+	Name string `json:"name,omitempty"`
+	// Count expands the entry into that many identical tasks (0 and 1
+	// both mean one task).
+	Count int `json:"count,omitempty"`
+	// Retries overrides the campaign retry budget for this task.
+	Retries int    `json:"retries,omitempty"`
+	Kernel  Kernel `json:"kernel"`
+}
+
+// Stage is a set of tasks with a barrier.
+type Stage struct {
+	Name     string `json:"name,omitempty"`
+	Streamed bool   `json:"streamed,omitempty"`
+	Tasks    []Task `json:"tasks"`
+}
+
+// Pipeline is an ordered sequence of stages.
+type Pipeline struct {
+	Name   string  `json:"name,omitempty"`
+	Stages []Stage `json:"stages"`
+}
+
+// Pilot requests one pilot of a multi-pilot resource set.
+type Pilot struct {
+	Resource    string   `json:"resource"`
+	Cores       int      `json:"cores"`
+	WalltimeMin int      `json:"walltime_min,omitempty"`
+	Queue       string   `json:"queue,omitempty"`
+	Project     string   `json:"project,omitempty"`
+	Tags        []string `json:"tags,omitempty"`
+}
+
+// Runtime tunes campaign-level execution knobs.
+type Runtime struct {
+	// MaxRetries is the default per-task retry budget.
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// Pattern is the JSON form of a classic pattern parametrisation
+// (eop/ee/sal) — the schema the runner spoke before campaigns grew the
+// explicit graph form. It is kept as a first-class alternative to
+// "pipelines".
+type Pattern struct {
+	Type string `json:"type"` // "eop", "ee", "sal"
+
+	// eop
+	Pipelines int      `json:"pipelines,omitempty"`
+	Stages    []Kernel `json:"stages,omitempty"`
+
+	// ee
+	Replicas   int     `json:"replicas,omitempty"`
+	Cycles     int     `json:"cycles,omitempty"`
+	Simulation *Kernel `json:"simulation,omitempty"`
+	Exchange   *Kernel `json:"exchange,omitempty"`
+	Pairwise   bool    `json:"pairwise,omitempty"`
+
+	// sal
+	Iterations  int     `json:"iterations,omitempty"`
+	Simulations int     `json:"simulations,omitempty"`
+	Analyses    int     `json:"analyses,omitempty"`
+	Analysis    *Kernel `json:"analysis,omitempty"`
+}
+
+// Campaign is the top-level description. Resources come either in the
+// legacy single-pilot form (resource/cores/walltime_min at the top
+// level) or as a "resources" list with an optional placement policy;
+// the workload is either a "pattern" or an explicit "pipelines" graph.
+type Campaign struct {
+	// Legacy single-pilot binding.
+	Resource    string `json:"resource,omitempty"`
+	Cores       int    `json:"cores,omitempty"`
+	WalltimeMin int    `json:"walltime_min,omitempty"`
+
+	// Multi-pilot binding.
+	Resources []Pilot `json:"resources,omitempty"`
+	// Placement selects the late-binding policy for multi-pilot sets:
+	// "round_robin" (default), "least_loaded", "tag_affinity", or
+	// "tag_affinity+least_loaded".
+	Placement string `json:"placement,omitempty"`
+
+	Runtime *Runtime `json:"runtime,omitempty"`
+
+	Pattern   *Pattern   `json:"pattern,omitempty"`
+	Pipelines []Pipeline `json:"pipelines,omitempty"`
+}
+
+// Parse decodes and validates a campaign description. Unknown fields,
+// type mismatches, and syntax errors are reported with the line they
+// occur on.
+func Parse(r io.Reader) (*Campaign, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Campaign
+	if err := dec.Decode(&c); err != nil {
+		return nil, decodeError(data, dec, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("campaign: line %d: trailing data after the campaign object",
+			lineOf(data, dec.InputOffset()))
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// decodeError turns a json.Decoder error into a line-anchored message.
+// Syntax and type errors carry byte offsets; the unknown-field error
+// does not, so its position is approximated by the decoder's input
+// offset — inside or just past the offending field.
+func decodeError(data []byte, dec *json.Decoder, err error) error {
+	switch e := err.(type) {
+	case *json.SyntaxError:
+		return fmt.Errorf("campaign: line %d: %v", lineOf(data, e.Offset), err)
+	case *json.UnmarshalTypeError:
+		where := e.Field
+		if where == "" {
+			where = "campaign"
+		}
+		return fmt.Errorf("campaign: line %d: field %q wants %s, got JSON %s",
+			lineOf(data, e.Offset), where, e.Type, e.Value)
+	}
+	if msg := err.Error(); strings.HasPrefix(msg, "json: unknown field ") {
+		field := strings.TrimPrefix(msg, "json: unknown field ")
+		return fmt.Errorf("campaign: line %d: unknown field %s (typo? see the schema in cmd/entk-run)",
+			lineOf(data, fieldOffset(data, field, dec.InputOffset())), field)
+	}
+	return fmt.Errorf("campaign: %w", err)
+}
+
+// fieldOffset locates an unknown field in the input: the decoder's
+// error carries no position (and its input offset points past the
+// whole value), so the quoted key is searched for directly — the first
+// occurrence followed by a colon. fallback applies if the key is not
+// found verbatim (e.g. it used escape sequences).
+func fieldOffset(data []byte, quotedField string, fallback int64) int64 {
+	key := []byte(quotedField) // already quoted in the error text
+	for from := 0; ; {
+		i := bytes.Index(data[from:], key)
+		if i < 0 {
+			return fallback
+		}
+		at := from + i
+		rest := bytes.TrimLeft(data[at+len(key):], " \t\r\n")
+		if len(rest) > 0 && rest[0] == ':' {
+			return int64(at)
+		}
+		from = at + len(key)
+	}
+}
+
+// Expansion caps: count replication materialises tasks at compile
+// time, so descriptions are bounded well above any real campaign (the
+// 10M stress tier builds its graph in Go, not JSON) but low enough
+// that a corrupt count fails instead of exhausting memory.
+const (
+	maxTaskCount     = 1 << 20
+	maxCampaignTasks = 1 << 22
+)
+
+// lineOf returns the 1-based line containing byte offset off.
+func lineOf(data []byte, off int64) int {
+	if off > int64(len(data)) {
+		off = int64(len(data))
+	}
+	return 1 + bytes.Count(data[:off], []byte{'\n'})
+}
+
+// Validate checks the structural rules compilation relies on.
+func (c *Campaign) Validate() error {
+	// Exactly one resource form.
+	legacy := c.Resource != "" || c.Cores != 0 || c.WalltimeMin != 0
+	if legacy && len(c.Resources) > 0 {
+		return fmt.Errorf("campaign: use either the top-level resource/cores/walltime_min or the resources list, not both")
+	}
+	if !legacy && len(c.Resources) == 0 {
+		return fmt.Errorf("campaign: no resources: set resource/cores or a resources list")
+	}
+	if legacy {
+		if c.Resource == "" {
+			return fmt.Errorf("campaign: cores/walltime_min set but resource is empty")
+		}
+		if c.Cores <= 0 {
+			return fmt.Errorf("campaign: resource %q needs cores > 0", c.Resource)
+		}
+	}
+	for i, p := range c.Resources {
+		if p.Resource == "" {
+			return fmt.Errorf("campaign: resources[%d]: empty resource name", i)
+		}
+		if p.Cores <= 0 {
+			return fmt.Errorf("campaign: resources[%d] (%s): needs cores > 0", i, p.Resource)
+		}
+	}
+	switch c.Placement {
+	case "", "round_robin", "least_loaded", "tag_affinity", "tag_affinity+least_loaded":
+	default:
+		return fmt.Errorf("campaign: unknown placement %q (want round_robin, least_loaded, tag_affinity, or tag_affinity+least_loaded)", c.Placement)
+	}
+	if c.Runtime != nil && c.Runtime.MaxRetries < 0 {
+		return fmt.Errorf("campaign: runtime.max_retries must be >= 0")
+	}
+
+	// Exactly one workload form.
+	if (c.Pattern == nil) == (len(c.Pipelines) == 0) {
+		return fmt.Errorf("campaign: describe the workload as either a pattern or a pipelines graph (exactly one)")
+	}
+	total := 0
+	seen := map[string]int{}
+	for i, pl := range c.Pipelines {
+		if pl.Name != "" {
+			if j, dup := seen[pl.Name]; dup {
+				return fmt.Errorf("campaign: pipelines[%d] reuses name %q of pipelines[%d]", i, pl.Name, j)
+			}
+			seen[pl.Name] = i
+		}
+		if len(pl.Stages) == 0 {
+			return fmt.Errorf("campaign: pipeline %s has no stages", pipeLabel(pl, i))
+		}
+		for s, st := range pl.Stages {
+			if len(st.Tasks) == 0 {
+				return fmt.Errorf("campaign: pipeline %s stage %d has no tasks", pipeLabel(pl, i), s+1)
+			}
+			for ti, task := range st.Tasks {
+				if task.Kernel.Name == "" {
+					return fmt.Errorf("campaign: pipeline %s stage %d task %d: kernel.name is required",
+						pipeLabel(pl, i), s+1, ti)
+				}
+				if task.Count < 0 {
+					return fmt.Errorf("campaign: pipeline %s stage %d task %d: count must be >= 0",
+						pipeLabel(pl, i), s+1, ti)
+				}
+				// Count expands eagerly at compile time, so bound it:
+				// a corrupt or hostile description must fail cleanly
+				// instead of asking the allocator for a giant graph.
+				if task.Count > maxTaskCount {
+					return fmt.Errorf("campaign: pipeline %s stage %d task %d: count %d exceeds the %d cap",
+						pipeLabel(pl, i), s+1, ti, task.Count, maxTaskCount)
+				}
+				if task.Count == 0 {
+					total++
+				} else {
+					total += task.Count
+				}
+				if total > maxCampaignTasks {
+					return fmt.Errorf("campaign: more than %d tasks in total", maxCampaignTasks)
+				}
+				if task.Retries < 0 {
+					return fmt.Errorf("campaign: pipeline %s stage %d task %d: retries must be >= 0",
+						pipeLabel(pl, i), s+1, ti)
+				}
+				if task.Kernel.Cores < 0 {
+					return fmt.Errorf("campaign: pipeline %s stage %d task %d: kernel.cores must be >= 0",
+						pipeLabel(pl, i), s+1, ti)
+				}
+			}
+		}
+	}
+	if c.Pattern != nil {
+		if err := c.Pattern.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pipeLabel(pl Pipeline, i int) string {
+	if pl.Name != "" {
+		return fmt.Sprintf("%q", pl.Name)
+	}
+	return fmt.Sprintf("[%d]", i)
+}
+
+func (p *Pattern) validate() error {
+	switch p.Type {
+	case "eop":
+		if len(p.Stages) == 0 {
+			return fmt.Errorf("campaign: eop pattern needs stages")
+		}
+		for i, k := range p.Stages {
+			if k.Name == "" {
+				return fmt.Errorf("campaign: eop stage %d: kernel name is required", i+1)
+			}
+		}
+	case "ee":
+		if p.Simulation == nil || p.Exchange == nil {
+			return fmt.Errorf("campaign: ee pattern needs simulation and exchange kernels")
+		}
+	case "sal":
+		if p.Simulation == nil || p.Analysis == nil {
+			return fmt.Errorf("campaign: sal pattern needs simulation and analysis kernels")
+		}
+	default:
+		return fmt.Errorf("campaign: unknown pattern type %q (want eop, ee, or sal)", p.Type)
+	}
+	return nil
+}

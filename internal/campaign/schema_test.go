@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+// validGraphJSON is a well-formed multi-pilot graph campaign used
+// across the schema tests.
+const validGraphJSON = `{
+  "resources": [
+    {"resource": "xsede.comet", "cores": 48, "walltime_min": 120},
+    {"resource": "xsede.stampede", "cores": 64, "walltime_min": 120, "tags": ["mpi"]}
+  ],
+  "placement": "tag_affinity",
+  "runtime": {"max_retries": 1},
+  "pipelines": [
+    {"name": "md", "stages": [
+      {"name": "sim", "streamed": true, "tasks": [
+        {"name": "eq", "count": 4, "retries": 2,
+         "kernel": {"name": "misc.sleep", "params": {"seconds": 5}}}
+      ]},
+      {"name": "ana", "tasks": [
+        {"kernel": {"name": "misc.ccount", "params": {"size_mb": 10}, "cores": 2, "mpi": true, "tags": ["mpi"]}}
+      ]}
+    ]}
+  ]
+}`
+
+func TestParseGraphCampaign(t *testing.T) {
+	c, err := Parse(strings.NewReader(validGraphJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Resources) != 2 || c.Placement != "tag_affinity" {
+		t.Errorf("resources/placement = %d/%q", len(c.Resources), c.Placement)
+	}
+	pls := c.GraphPipelines()
+	if len(pls) != 1 || pls[0].Name != "md" || len(pls[0].Stages) != 2 {
+		t.Fatalf("compiled shape wrong: %+v", pls)
+	}
+	sim := pls[0].Stages[0]
+	if !sim.Streamed || len(sim.Tasks) != 4 {
+		t.Errorf("sim stage: streamed=%v tasks=%d, want true/4 (count expansion)",
+			sim.Streamed, len(sim.Tasks))
+	}
+	if sim.Tasks[0].Name != "eq.0001" || sim.Tasks[3].Name != "eq.0004" {
+		t.Errorf("replica names = %q..%q", sim.Tasks[0].Name, sim.Tasks[3].Name)
+	}
+	if sim.Tasks[1].Retries != 2 || sim.Tasks[1].Kernel.Params["seconds"] != 5 {
+		t.Errorf("task attrs lost: %+v", sim.Tasks[1])
+	}
+	if sim.Tasks[0].Kernel == sim.Tasks[1].Kernel {
+		t.Error("replicas share one kernel value")
+	}
+	ana := pls[0].Stages[1].Tasks[0].Kernel
+	if ana.Cores != 2 || !ana.MPI || len(ana.Tags) != 1 {
+		t.Errorf("kernel attrs lost: %+v", ana)
+	}
+	specs := c.Specs()
+	if len(specs) != 2 || specs[1].Tags[0] != "mpi" {
+		t.Errorf("specs = %+v", specs)
+	}
+	if c.PlacementPolicy() == nil {
+		t.Error("tag_affinity compiled to nil policy")
+	}
+}
+
+func TestParseLegacyCampaign(t *testing.T) {
+	const legacy = `{
+	  "resource": "xsede.comet",
+	  "cores": 48,
+	  "walltime_min": 120,
+	  "pattern": {
+	    "type": "eop",
+	    "pipelines": 8,
+	    "stages": [
+	      {"name": "misc.mkfile", "params": {"size_mb": 10}},
+	      {"name": "misc.ccount", "params": {"size_mb": 10}}
+	    ]
+	  }
+	}`
+	c, err := Parse(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := c.Specs()
+	if len(specs) != 1 || specs[0].Resource != "xsede.comet" || specs[0].Cores != 48 {
+		t.Errorf("legacy specs = %+v", specs)
+	}
+	if c.LegacyPattern() == nil {
+		t.Error("eop pattern compiled to nil")
+	}
+	if c.GraphPipelines() != nil {
+		t.Error("pattern campaign grew graph pipelines")
+	}
+}
+
+// TestParseMalformed is the strict-decoding table: every malformed
+// description must be rejected, and positional errors must name the
+// line the problem is on.
+func TestParseMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string // substring of the error
+	}{
+		{"unknown-top-field", "{\n  \"resource\": \"xsede.comet\",\n  \"coers\": 48\n}",
+			`unknown field "coers"`},
+		{"unknown-field-line", "{\n  \"resource\": \"xsede.comet\",\n  \"coers\": 48\n}",
+			"line 3"},
+		{"unknown-nested-field", `{
+  "resource": "xsede.comet", "cores": 4,
+  "pipelines": [
+    {"stages": [
+      {"tasks": [
+        {"kernle": {"name": "misc.sleep"}}
+      ]}
+    ]}
+  ]
+}`, `unknown field "kernle"`},
+		{"unknown-nested-line", "{\n\"resource\": \"x\", \"cores\": 4,\n\"pipelines\": [\n{\"stages\": [\n{\"tasks\": [\n{\"kernle\": {}}\n]}]}]}",
+			"line 6"},
+		{"type-mismatch", "{\n  \"resource\": \"xsede.comet\",\n  \"cores\": \"forty-eight\"\n}",
+			"line 3"},
+		{"syntax", "{\n  \"resource\": \"xsede.comet\",,\n}", "line 2"},
+		{"trailing", `{"resource": "x", "cores": 4, "pattern": {"type": "eop", "stages": [{"name": "k"}]}} 42`,
+			"trailing data"},
+		{"no-resources", `{"pattern": {"type": "eop", "stages": [{"name": "k"}]}}`,
+			"no resources"},
+		{"both-resource-forms", `{"resource": "a", "cores": 4,
+			"resources": [{"resource": "b", "cores": 8}],
+			"pattern": {"type": "eop", "stages": [{"name": "k"}]}}`,
+			"not both"},
+		{"no-workload", `{"resource": "a", "cores": 4}`, "exactly one"},
+		{"both-workloads", `{"resource": "a", "cores": 4,
+			"pattern": {"type": "eop", "stages": [{"name": "k"}]},
+			"pipelines": [{"stages": [{"tasks": [{"kernel": {"name": "k"}}]}]}]}`,
+			"exactly one"},
+		{"bad-placement", `{"resources": [{"resource": "a", "cores": 4}],
+			"placement": "random",
+			"pattern": {"type": "eop", "stages": [{"name": "k"}]}}`,
+			"unknown placement"},
+		{"zero-cores", `{"resource": "a", "cores": 0, "walltime_min": 5,
+			"pattern": {"type": "eop", "stages": [{"name": "k"}]}}`,
+			"cores > 0"},
+		{"nameless-kernel", `{"resource": "a", "cores": 4,
+			"pipelines": [{"stages": [{"tasks": [{"kernel": {"params": {"x": 1}}}]}]}]}`,
+			"kernel.name is required"},
+		{"empty-stage", `{"resource": "a", "cores": 4,
+			"pipelines": [{"name": "p", "stages": [{"name": "s"}]}]}`,
+			"no tasks"},
+		{"duplicate-pipeline", `{"resource": "a", "cores": 4,
+			"pipelines": [
+			  {"name": "p", "stages": [{"tasks": [{"kernel": {"name": "k"}}]}]},
+			  {"name": "p", "stages": [{"tasks": [{"kernel": {"name": "k"}}]}]}
+			]}`,
+			"reuses name"},
+		{"bad-pattern-type", `{"resource": "a", "cores": 4,
+			"pattern": {"type": "map-reduce"}}`,
+			"unknown pattern type"},
+		{"ee-missing-kernels", `{"resource": "a", "cores": 4,
+			"pattern": {"type": "ee", "replicas": 4, "cycles": 2}}`,
+			"simulation and exchange"},
+		{"negative-count", `{"resource": "a", "cores": 4,
+			"pipelines": [{"stages": [{"tasks": [{"count": -2, "kernel": {"name": "k"}}]}]}]}`,
+			"count must be >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("accepted malformed description")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseAsserts(t *testing.T) {
+	const specs = `[
+	  {"entity": "unit.", "name": "exec_start", "kind": "exists"},
+	  {"entity": "unit.", "name": "exec_start", "kind": "count", "count": 8},
+	  {"entity": "core", "name": "run_start", "kind": "order", "before": "run_stop"},
+	  {"entity": "unit.", "kind": "span_max", "start": "exec_start", "stop": "exec_stop", "max_ms": 60000}
+	]`
+	got, err := ParseAsserts(strings.NewReader(specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[1].Count != 8 || got[3].MaxMS != 60000 {
+		t.Errorf("parsed specs = %+v", got)
+	}
+	for _, bad := range []struct{ name, json, want string }{
+		{"unknown-field", `[{"entity": "u", "kind": "exists", "nmae": "x"}]`, "unknown field"},
+		{"bad-kind", `[{"entity": "u", "name": "x", "kind": "maybe"}]`, "unknown kind"},
+		{"order-incomplete", `[{"entity": "u", "name": "x", "kind": "order"}]`, "needs name and before"},
+		{"span-unbounded", `[{"entity": "u", "kind": "span_max", "start": "a", "stop": "b"}]`, "max_ms > 0"},
+	} {
+		t.Run(bad.name, func(t *testing.T) {
+			_, err := ParseAsserts(strings.NewReader(bad.json))
+			if err == nil || !strings.Contains(err.Error(), bad.want) {
+				t.Errorf("error = %v, want substring %q", err, bad.want)
+			}
+		})
+	}
+}

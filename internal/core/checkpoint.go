@@ -10,10 +10,14 @@ package core
 // reorder-invariant column (tasks, retries, per-phase busy/task/
 // occurrence counts — TestResumeReportParity pins this).
 //
-// The granularity has one documented limit: PostStage hooks of skipped
-// stages are not replayed. A campaign whose hooks grow the graph must
-// either re-derive that growth from its own state or not be resumed
-// across such a stage.
+// PostStage hooks of settled stages ARE replayed on resume: each
+// settled stage that carries a hook checkpoints a snapshot of its
+// compute units (name, kernel, params, exec window), and resume
+// invokes the hook against replay units reconstructed from the
+// snapshot, so InsertStages/AppendStages/Terminate graph growth is
+// re-derived exactly. The contract this leans on: hooks must be
+// deterministic functions of their StageCtl — a hook that consults
+// external mutable state may replay differently than it ran.
 //
 // On disk a checkpoint is the "ENTKCKPT" section below, optionally
 // followed — in the same stream — by a full profile dump
@@ -26,6 +30,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"time"
 
 	"entk/internal/profile"
@@ -48,6 +54,38 @@ type PipelineCheckpoint struct {
 	PatternOverhead time.Duration
 	// Phases are the per-phase aggregates at the barrier.
 	Phases []PhaseStat
+	// HookStages snapshots the settled units of every settled stage
+	// that carries a PostStage hook, keyed by execution index — the
+	// data Resume replays the hooks against to reconstruct graph
+	// growth. Stages without hooks checkpoint nothing here.
+	HookStages []StageSnapshot
+}
+
+// StageSnapshot is the checkpointed unit set of one settled stage that
+// carries a PostStage hook.
+type StageSnapshot struct {
+	// Seq is the stage's 1-based execution index within its pipeline
+	// (counting executed stages, including inserted ones) — the same
+	// index StageCtl.StageIndex reports.
+	Seq int
+	// Units describes the stage's settled units in task order. A
+	// settled stage's units are all final and successful; a control
+	// stage (no tasks) snapshots an empty list.
+	Units []UnitSnapshot
+}
+
+// UnitSnapshot is one settled compute unit as a PostStage hook saw it:
+// enough to rebuild a replay unit whose accessors answer as the
+// original did.
+type UnitSnapshot struct {
+	Name   string
+	Kernel string
+	Params map[string]float64
+	Cores  int
+	MPI    bool
+	Tags   []string
+	// Start and Stop are the unit's exec window on the virtual clock.
+	Start, Stop time.Duration
 }
 
 // CampaignCheckpoint is the resumable state of one campaign: every
@@ -73,16 +111,27 @@ func (cp *CampaignCheckpoint) Pipeline(name string) *PipelineCheckpoint {
 // Checkpoint file format, little-endian throughout:
 //
 //	[8]  magic "ENTKCKPT"
-//	u32  version (currently 1)
+//	u32  version (currently 2)
 //	u32  pipeline count, then per pipeline:
 //	     string name (u32 length + bytes)
 //	     u32 settled stages, u64 tasks, u64 retries, i64 overhead
 //	     u32 phase count, then per phase:
 //	       string name, i64 span, i64 busy, u64 tasks, u64 occurrences
+//	     u32 hook-stage count (v2+), then per hook stage:
+//	       u32 seq, u32 unit count, then per unit:
+//	         string name, string kernel, u32 cores, u8 mpi,
+//	         i64 start, i64 stop,
+//	         u32 param count, per param: string key, f64 value (key order),
+//	         u32 tag count, per tag: string
 //	u8   trace flag: 1 = a profile dump ("ENTKPROF") follows, 0 = end
+//
+// Version 1 streams (pre hook-replay) still load: they simply carry no
+// hook-stage snapshots, and a resume across a hook stage of such a
+// checkpoint reports the missing replay data instead of silently
+// running the wrong graph.
 const (
 	ckptMagic   = "ENTKCKPT"
-	ckptVersion = 1
+	ckptVersion = 2
 	// ckptMaxString/ckptMaxCount bound one string / one repeated section
 	// so corrupted length fields fail cleanly instead of asking the
 	// allocator for gigabytes.
@@ -139,6 +188,60 @@ func SaveCheckpoint(w io.Writer, cp *CampaignCheckpoint, prof *profile.Profiler)
 				}
 			}
 		}
+		if err := write(uint32(len(pc.HookStages))); err != nil {
+			return err
+		}
+		for _, hs := range pc.HookStages {
+			if err := write(uint32(hs.Seq)); err != nil {
+				return err
+			}
+			if err := write(uint32(len(hs.Units))); err != nil {
+				return err
+			}
+			for _, us := range hs.Units {
+				if err := writeString(us.Name); err != nil {
+					return err
+				}
+				if err := writeString(us.Kernel); err != nil {
+					return err
+				}
+				mpi := uint8(0)
+				if us.MPI {
+					mpi = 1
+				}
+				for _, v := range []any{
+					uint32(us.Cores), mpi, int64(us.Start), int64(us.Stop),
+					uint32(len(us.Params)),
+				} {
+					if err := write(v); err != nil {
+						return err
+					}
+				}
+				// Key order keeps the serialisation deterministic (maps
+				// iterate randomly).
+				keys := make([]string, 0, len(us.Params))
+				for k := range us.Params {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					if err := writeString(k); err != nil {
+						return err
+					}
+					if err := write(math.Float64bits(us.Params[k])); err != nil {
+						return err
+					}
+				}
+				if err := write(uint32(len(us.Tags))); err != nil {
+					return err
+				}
+				for _, tag := range us.Tags {
+					if err := writeString(tag); err != nil {
+						return err
+					}
+				}
+			}
+		}
 	}
 	flag := uint8(0)
 	if prof != nil {
@@ -191,8 +294,8 @@ func LoadCheckpoint(r io.Reader, prof *profile.Profiler) (*CampaignCheckpoint, e
 	if err := read(&version); err != nil {
 		return nil, err
 	}
-	if version != ckptVersion {
-		return nil, fmt.Errorf("core: checkpoint version %d, want %d", version, ckptVersion)
+	if version < 1 || version > ckptVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want 1-%d", version, ckptVersion)
 	}
 	var nPipes uint32
 	if err := read(&nPipes); err != nil {
@@ -240,6 +343,83 @@ func LoadCheckpoint(r io.Reader, prof *profile.Profiler) (*CampaignCheckpoint, e
 			ph.Tasks = int(tasks)
 			ph.Occurrences = int(occ)
 			pc.Phases = append(pc.Phases, ph)
+		}
+		if version >= 2 {
+			var nHooks uint32
+			if err := read(&nHooks); err != nil {
+				return nil, err
+			}
+			if nHooks > ckptMaxCount {
+				return nil, fmt.Errorf("core: checkpoint hook-stage count %d exceeds cap (corrupt?)", nHooks)
+			}
+			for h := uint32(0); h < nHooks; h++ {
+				var hs StageSnapshot
+				var seq, nUnits uint32
+				if err := read(&seq); err != nil {
+					return nil, err
+				}
+				if err := read(&nUnits); err != nil {
+					return nil, err
+				}
+				if nUnits > ckptMaxCount {
+					return nil, fmt.Errorf("core: checkpoint unit count %d exceeds cap (corrupt?)", nUnits)
+				}
+				hs.Seq = int(seq)
+				for u := uint32(0); u < nUnits; u++ {
+					var us UnitSnapshot
+					if us.Name, err = readString(); err != nil {
+						return nil, err
+					}
+					if us.Kernel, err = readString(); err != nil {
+						return nil, err
+					}
+					var cores, nParams uint32
+					var mpi uint8
+					var start, stop int64
+					for _, v := range []any{&cores, &mpi, &start, &stop, &nParams} {
+						if err := read(v); err != nil {
+							return nil, err
+						}
+					}
+					if nParams > ckptMaxCount {
+						return nil, fmt.Errorf("core: checkpoint param count %d exceeds cap (corrupt?)", nParams)
+					}
+					us.Cores = int(cores)
+					us.MPI = mpi != 0
+					us.Start = time.Duration(start)
+					us.Stop = time.Duration(stop)
+					for pi := uint32(0); pi < nParams; pi++ {
+						key, err := readString()
+						if err != nil {
+							return nil, err
+						}
+						var bits uint64
+						if err := read(&bits); err != nil {
+							return nil, err
+						}
+						if us.Params == nil {
+							us.Params = make(map[string]float64, nParams)
+						}
+						us.Params[key] = math.Float64frombits(bits)
+					}
+					var nTags uint32
+					if err := read(&nTags); err != nil {
+						return nil, err
+					}
+					if nTags > ckptMaxCount {
+						return nil, fmt.Errorf("core: checkpoint tag count %d exceeds cap (corrupt?)", nTags)
+					}
+					for ti := uint32(0); ti < nTags; ti++ {
+						tag, err := readString()
+						if err != nil {
+							return nil, err
+						}
+						us.Tags = append(us.Tags, tag)
+					}
+					hs.Units = append(hs.Units, us)
+				}
+				pc.HookStages = append(pc.HookStages, hs)
+			}
 		}
 		cp.Pipelines = append(cp.Pipelines, pc)
 	}

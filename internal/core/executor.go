@@ -86,8 +86,13 @@ type executor struct {
 	// resumed prefix), and onSettled — when set — receives a cumulative
 	// snapshot after every settled stage barrier. Both are configured
 	// before run() starts; onSettled is called outside ex.mu.
+	// hookSnaps accumulates the settled-unit snapshots of hook-carrying
+	// stages (seeded from the checkpoint on resume, grown at each new
+	// hook barrier) — runPipeline replays skipped hooks from it, and
+	// noteSettled carries it into every later checkpoint.
 	skipStages int
 	onSettled  func(PipelineCheckpoint)
+	hookSnaps  []StageSnapshot
 }
 
 func newExecutor(rs *ResourceSet, p Pattern) *executor {
@@ -127,6 +132,50 @@ func (ex *executor) seedFrom(pc *PipelineCheckpoint) {
 	ex.retries = pc.Retries
 	ex.patternOverhead = pc.PatternOverhead
 	ex.phases.merge("", pc.Phases)
+	ex.hookSnaps = append([]StageSnapshot(nil), pc.HookStages...)
+}
+
+// hookSnapshot returns the checkpointed unit snapshot for the hook
+// stage at execution index seq, nil if the checkpoint never recorded
+// one (a stage without a hook, or a pre-v2 checkpoint).
+func (ex *executor) hookSnapshot(seq int) *StageSnapshot {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	for i := range ex.hookSnaps {
+		if ex.hookSnaps[i].Seq == seq {
+			return &ex.hookSnaps[i]
+		}
+	}
+	return nil
+}
+
+// captureHookStage snapshots a just-settled hook stage's units for
+// checkpointing, so a later Resume can replay the PostStage hook.
+// Only campaign runs (onSettled set) pay for this; lowered pattern
+// runs are never resumed and skip it.
+func (ex *executor) captureHookStage(seq int, units []*pilot.ComputeUnit) {
+	// nil (not empty) when the stage had no units, so an in-memory
+	// checkpoint stays DeepEqual to its serialised round trip.
+	var snaps []UnitSnapshot
+	for _, u := range units {
+		if u == nil {
+			continue
+		}
+		start, stop, _ := u.ExecWindow()
+		snaps = append(snaps, UnitSnapshot{
+			Name:   u.Desc.Name,
+			Kernel: u.Desc.Kernel,
+			Params: u.Desc.Params,
+			Cores:  u.Desc.Cores,
+			MPI:    u.Desc.MPI,
+			Tags:   u.Desc.Tags,
+			Start:  start,
+			Stop:   stop,
+		})
+	}
+	ex.mu.Lock()
+	ex.hookSnaps = append(ex.hookSnaps, StageSnapshot{Seq: seq, Units: snaps})
+	ex.mu.Unlock()
 }
 
 // noteSettled snapshots the executor at a settled stage barrier for the
@@ -144,6 +193,9 @@ func (ex *executor) noteSettled(seq int) {
 		Retries:         ex.retries,
 		PatternOverhead: ex.patternOverhead,
 		Phases:          ex.phases.stats(),
+	}
+	if len(ex.hookSnaps) > 0 {
+		snap.HookStages = append([]StageSnapshot(nil), ex.hookSnaps...)
 	}
 	ex.mu.Unlock()
 	ex.onSettled(snap)

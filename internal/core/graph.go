@@ -279,14 +279,36 @@ func (ex *executor) runPipeline(pl *Pipeline) error {
 		seq++
 		if seq <= ex.skipStages {
 			// Resumed prefix: the checkpointed run settled this stage and
-			// its counters are already seeded. PostStage hooks of skipped
-			// stages are NOT replayed (see checkpoint.go).
+			// its counters are already seeded, so its tasks are not
+			// re-executed — but a PostStage hook IS replayed, against
+			// units rebuilt from the checkpoint snapshot, so the graph
+			// growth the original hook produced (InsertStages /
+			// AppendStages / Terminate) is reconstructed before the live
+			// suffix runs (see checkpoint.go).
+			if st.PostStage != nil {
+				ctl := &StageCtl{pipeline: pl, seq: seq}
+				if err := ex.replayHook(st, ctl); err != nil {
+					return err
+				}
+				if ctl.terminated {
+					return nil
+				}
+				if len(ctl.insert) > 0 {
+					queue = slices.Insert(queue, i+1, ctl.insert...)
+				}
+				if len(ctl.appended) > 0 {
+					queue = append(queue, ctl.appended...)
+				}
+			}
 			continue
 		}
 		ctl := &StageCtl{pipeline: pl, seq: seq}
 		err := ex.runStage(st, ctl)
 		if err != nil {
 			return err
+		}
+		if st.PostStage != nil && ex.onSettled != nil {
+			ex.captureHookStage(seq, ctl.units)
 		}
 		ex.noteSettled(seq)
 		if ctl.terminated {
@@ -300,6 +322,35 @@ func (ex *executor) runPipeline(pl *Pipeline) error {
 		}
 	}
 	return nil
+}
+
+// replayHook re-runs a settled stage's PostStage hook during resume.
+// The hook sees replay units reconstructed from the checkpoint
+// snapshot — same names, kernels, params, and exec windows as the
+// settled originals — so a deterministic hook makes the same graph
+// edits it made on the interrupted run. Phase stats and counters are
+// untouched: the checkpoint already accounts for the settled prefix.
+func (ex *executor) replayHook(st *Stage, ctl *StageCtl) error {
+	snap := ex.hookSnapshot(ctl.seq)
+	if snap == nil {
+		return fmt.Errorf("core: resume: stage %d of pipeline %q carries a PostStage hook but the checkpoint has no replay snapshot for it (checkpoint from a pre-replay version?)", ctl.seq, ctl.pipeline.Name)
+	}
+	var units []*pilot.ComputeUnit
+	if len(snap.Units) > 0 {
+		units = make([]*pilot.ComputeUnit, len(snap.Units))
+		for i, us := range snap.Units {
+			units[i] = pilot.NewReplayUnit(ex.v, pilot.UnitDescription{
+				Name:   us.Name,
+				Kernel: us.Kernel,
+				Params: us.Params,
+				Cores:  us.Cores,
+				MPI:    us.MPI,
+				Tags:   us.Tags,
+			}, pilot.UnitDone, us.Start, us.Stop)
+		}
+	}
+	ctl.units = units
+	return st.PostStage(ctl)
 }
 
 // runStage submits a stage's tasks as one wave, waits out the barrier

@@ -196,6 +196,31 @@ func newUnit(s *Session, desc UnitDescription) *ComputeUnit {
 	return u
 }
 
+// NewReplayUnit reconstructs a settled compute unit from checkpointed
+// state, for PostStage hook replay on resume: the unit is born final
+// (state must be terminal) with its recorded exec window, its final
+// event pre-fired, and no session behind it — every read accessor a
+// hook can call (State, Err, ExecWindow, ExecDuration, WaitFinal,
+// Desc) answers as the original did, while the mutating paths are all
+// no-ops on a final unit. Replay units never touch a pilot, an agent,
+// or the profiler.
+func NewReplayUnit(v *vclock.Virtual, desc UnitDescription, st UnitState, start, stop time.Duration) *ComputeUnit {
+	if !st.Final() {
+		st = UnitDone
+	}
+	u := &ComputeUnit{
+		ID:      -1,
+		Desc:    desc,
+		entity:  "replay." + desc.Name,
+		state:   st,
+		started: start,
+		stopped: stop,
+	}
+	u.finalEv.Init(v, u.entity)
+	u.finalEv.Fire()
+	return u
+}
+
 // Entity returns the unit's profiler entity key.
 func (u *ComputeUnit) Entity() string { return u.entity }
 

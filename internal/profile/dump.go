@@ -9,10 +9,16 @@ package profile
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 )
+
+// ErrNotEmpty is wrapped by ReadFrom when the destination profiler has
+// already interned or recorded anything; callers can test for it with
+// errors.Is (or avoid it up front with Empty).
+var ErrNotEmpty = errors.New("profile: ReadFrom needs an empty profiler")
 
 // Dump format, little-endian throughout:
 //
@@ -112,8 +118,9 @@ func (p *Profiler) WriteTo(w io.Writer) (int64, error) {
 // so every query answers as it did on the original. It implements
 // io.ReaderFrom.
 func (p *Profiler) ReadFrom(r io.Reader) (int64, error) {
-	if p.ents.count() != 0 || p.names.count() != 0 || p.store.count() != 0 {
-		return 0, fmt.Errorf("profile: ReadFrom needs an empty profiler")
+	if !p.Empty() {
+		return 0, fmt.Errorf("%w (%d entities, %d names, %d events already present)",
+			ErrNotEmpty, p.ents.count(), p.names.count(), p.store.count())
 	}
 	br := bufio.NewReader(r)
 	var n int64

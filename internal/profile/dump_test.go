@@ -2,6 +2,7 @@ package profile
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -153,7 +154,13 @@ func TestDumpRejectsGarbage(t *testing.T) {
 	}
 	used := fresh()
 	used.Record("x", "y")
-	if _, err := used.ReadFrom(bytes.NewReader(good)); err == nil {
-		t.Error("non-empty destination accepted")
+	if used.Empty() {
+		t.Error("Empty() true after Record")
+	}
+	if _, err := used.ReadFrom(bytes.NewReader(good)); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("non-empty destination: err = %v, want ErrNotEmpty", err)
+	}
+	if !fresh().Empty() {
+		t.Error("Empty() false on a fresh profiler")
 	}
 }

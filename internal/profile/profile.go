@@ -435,6 +435,32 @@ func (p *Profiler) RecordID(e EntityID, n NameID) {
 // EventCount returns the number of recorded events.
 func (p *Profiler) EventCount() int { return p.store.count() }
 
+// Empty reports whether the profiler has interned nothing and recorded
+// nothing — the precondition ReadFrom enforces. Callers that may hand a
+// used profiler to a loader can test this cheaply instead of parsing
+// the loader's error.
+func (p *Profiler) Empty() bool {
+	return p.ents.count() == 0 && p.names.count() == 0 && p.store.count() == 0
+}
+
+// Count returns the number of occurrences of the named event across
+// entities matching the prefix. Like First/Last it streams the id
+// columns: two integer compares per event.
+func (p *Profiler) Count(entityPrefix, name string) int {
+	want, ok := p.names.lookup(name)
+	if !ok {
+		return 0
+	}
+	match := p.matchPrefix(entityPrefix)
+	n := 0
+	p.store.forEach(func(eid, nid uint32, t time.Duration) {
+		if nid == want && matches(match, eid) {
+			n++
+		}
+	})
+	return n
+}
+
 // Events returns a copy of all events, resolved to strings, in per-entity
 // insertion order.
 func (p *Profiler) Events() []Event {
