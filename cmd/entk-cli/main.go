@@ -1,0 +1,163 @@
+// Command entk-cli is the client for the entk-serve daemon:
+//
+//	entk-cli [-addr URL] [-tenant NAME] <command> [args]
+//
+//	submit [-follow] campaign.json   submit a campaign; -follow polls
+//	                                 until it settles and prints the
+//	                                 final status
+//	status <id>                      one campaign's status + progress
+//	list                             every campaign's status
+//	report <id>                      the settled report JSON (verbatim
+//	                                 daemon bytes, golden-diff friendly)
+//	trace <id> [-o file]             fetch the ENTKPROF trace stream
+//	checkpoint <id> [-o file]        on-demand ENTKCKPT checkpoint
+//
+// Exit status is nonzero on any HTTP error; error bodies are printed
+// to stderr.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+)
+
+var (
+	addr   = flag.String("addr", "http://127.0.0.1:8750", "daemon base URL")
+	tenant = flag.String("tenant", "default", "tenant name (X-Entk-Tenant)")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("entk-cli: ")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: entk-cli [-addr URL] [-tenant NAME] <submit|status|list|report|trace|checkpoint> [args]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		cmdSubmit(rest)
+	case "status":
+		cmdGet(rest, "status", "/v1/campaigns/%s")
+	case "list":
+		body := request("GET", "/v1/campaigns", nil)
+		os.Stdout.Write(body)
+	case "report":
+		cmdGet(rest, "report", "/v1/campaigns/%s/report")
+	case "trace":
+		cmdFetch(rest, "trace", "GET", "/v1/campaigns/%s/trace")
+	case "checkpoint":
+		cmdFetch(rest, "checkpoint", "POST", "/v1/campaigns/%s/checkpoint")
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func cmdSubmit(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	follow := fs.Bool("follow", false, "poll until the campaign settles")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("submit needs exactly one campaign JSON file")
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body := request("POST", "/v1/campaigns", raw)
+	if !*follow {
+		os.Stdout.Write(body)
+		return
+	}
+	var st struct{ ID, State string }
+	if err := json.Unmarshal(body, &st); err != nil {
+		log.Fatalf("submit response: %v", err)
+	}
+	for !terminal(st.State) {
+		time.Sleep(50 * time.Millisecond)
+		body = request("GET", "/v1/campaigns/"+st.ID, nil)
+		if err := json.Unmarshal(body, &st); err != nil {
+			log.Fatalf("status response: %v", err)
+		}
+	}
+	os.Stdout.Write(body)
+	if st.State != "done" {
+		os.Exit(1)
+	}
+}
+
+func terminal(state string) bool {
+	switch state {
+	case "done", "failed", "aborted", "checkpointed":
+		return true
+	}
+	return false
+}
+
+func cmdGet(args []string, name, pathFmt string) {
+	if len(args) != 1 {
+		log.Fatalf("%s needs exactly one campaign id", name)
+	}
+	body := request("GET", fmt.Sprintf(pathFmt, args[0]), nil)
+	os.Stdout.Write(body)
+}
+
+func cmdFetch(args []string, name, method, pathFmt string) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	out := fs.String("o", "", "write to file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatalf("%s needs exactly one campaign id", name)
+	}
+	body := request(method, fmt.Sprintf(pathFmt, fs.Arg(0)), nil)
+	if *out == "" {
+		os.Stdout.Write(body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// request performs one call against the daemon and returns the body;
+// any non-2xx response is fatal with the body on stderr.
+func request(method, path string, payload []byte) []byte {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, *addr+path, rd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("X-Entk-Tenant", *tenant)
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		os.Stderr.Write(body)
+		log.Fatalf("%s %s: %s", method, path, resp.Status)
+	}
+	return body
+}

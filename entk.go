@@ -75,7 +75,7 @@ import (
 )
 
 // Version identifies this release of the toolkit reproduction.
-const Version = "1.3.0"
+const Version = "1.4.0"
 
 // Re-exported user-facing types. The implementations live in
 // internal/core (the toolkit) and internal supporting packages.

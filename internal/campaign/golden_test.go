@@ -182,6 +182,8 @@ func FuzzCampaignSchema(f *testing.F) {
 	  "pattern": {"type": "sal", "iterations": 2, "simulations": 4, "analyses": 1,
 	    "simulation": {"name": "misc.sleep", "params": {"seconds": 5}},
 	    "analysis": {"name": "misc.ccount", "params": {"size_mb": 1}}}}`))
+	f.Add([]byte(`{"name": "labelled", "resource": "xsede.comet", "cores": 4,
+	  "pattern": {"type": "eop", "pipelines": 2, "stages": [{"name": "misc.sleep"}]}}`))
 	f.Add([]byte(`{"coers": 48}`))
 	f.Add([]byte(`[1, 2`))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -78,6 +78,36 @@ func (r *Result) Summary() string {
 	return b.String()
 }
 
+// Config builds the core configuration a run of this campaign uses on
+// clock v: runtime defaults, the profiler layout from opts, and the
+// campaign's own knobs (retry budget). Run and the service's
+// orchestrator share it, so an HTTP-submitted campaign executes on
+// exactly the substrate a library run would construct.
+func (c *Campaign) Config(v *entk.Clock, opts Options) entk.Config {
+	cfg := entk.Config{Clock: v}
+	// Core only fills runtime defaults for a wholly-zero Runtime, so
+	// start from the defaults before selecting the profiler layout.
+	cfg.Runtime = entk.DefaultRuntimeConfig()
+	cfg.Runtime.ProfLayout = opts.Layout
+	if c.Runtime != nil {
+		cfg.MaxRetries = c.Runtime.MaxRetries
+	}
+	return cfg
+}
+
+// Bind compiles the campaign's resource section onto clock v: a
+// ResourceSet with the campaign's pilots, placement policy, and config.
+func (c *Campaign) Bind(v *entk.Clock, opts Options) (*entk.ResourceSet, error) {
+	rs, err := entk.NewResourceSet(c.Specs(), c.Config(v, opts))
+	if err != nil {
+		return nil, err
+	}
+	if pol := c.PlacementPolicy(); pol != nil {
+		rs.Placement = pol
+	}
+	return rs, nil
+}
+
 // Run executes a validated campaign on a fresh clock and binding. A
 // failing workload still returns the Result alongside the error — the
 // trace evidence of a failed run is exactly what post-mortem assertion
@@ -87,20 +117,9 @@ func Run(c *Campaign, opts Options) (*Result, error) {
 		return nil, err
 	}
 	v := entk.NewClockEngine(opts.Engine)
-	cfg := entk.Config{Clock: v}
-	// Core only fills runtime defaults for a wholly-zero Runtime, so
-	// start from the defaults before selecting the profiler layout.
-	cfg.Runtime = entk.DefaultRuntimeConfig()
-	cfg.Runtime.ProfLayout = opts.Layout
-	if c.Runtime != nil {
-		cfg.MaxRetries = c.Runtime.MaxRetries
-	}
-	rs, err := entk.NewResourceSet(c.Specs(), cfg)
+	rs, err := c.Bind(v, opts)
 	if err != nil {
 		return nil, err
-	}
-	if pol := c.PlacementPolicy(); pol != nil {
-		rs.Placement = pol
 	}
 
 	res := &Result{}

@@ -106,6 +106,11 @@ type Pattern struct {
 // level) or as a "resources" list with an optional placement policy;
 // the workload is either a "pattern" or an explicit "pipelines" graph.
 type Campaign struct {
+	// Name is an optional tenant-visible label for the campaign. The
+	// service surfaces it in status and report responses; the library
+	// ignores it otherwise.
+	Name string `json:"name,omitempty"`
+
 	// Legacy single-pilot binding.
 	Resource    string `json:"resource,omitempty"`
 	Cores       int    `json:"cores,omitempty"`

@@ -8,6 +8,7 @@ import (
 // validGraphJSON is a well-formed multi-pilot graph campaign used
 // across the schema tests.
 const validGraphJSON = `{
+  "name": "md-sweep",
   "resources": [
     {"resource": "xsede.comet", "cores": 48, "walltime_min": 120},
     {"resource": "xsede.stampede", "cores": 64, "walltime_min": 120, "tags": ["mpi"]}
@@ -34,6 +35,9 @@ func TestParseGraphCampaign(t *testing.T) {
 	}
 	if len(c.Resources) != 2 || c.Placement != "tag_affinity" {
 		t.Errorf("resources/placement = %d/%q", len(c.Resources), c.Placement)
+	}
+	if c.Name != "md-sweep" {
+		t.Errorf("name = %q, want md-sweep", c.Name)
 	}
 	pls := c.GraphPipelines()
 	if len(pls) != 1 || pls[0].Name != "md" || len(pls[0].Stages) != 2 {
@@ -165,6 +169,11 @@ func TestParseMalformed(t *testing.T) {
 		{"negative-count", `{"resource": "a", "cores": 4,
 			"pipelines": [{"stages": [{"tasks": [{"count": -2, "kernel": {"name": "k"}}]}]}]}`,
 			"count must be >= 0"},
+		{"name-type-mismatch", "{\n  \"name\": 12,\n  \"resource\": \"a\", \"cores\": 4,\n  \"pattern\": {\"type\": \"eop\", \"stages\": [{\"name\": \"k\"}]}\n}",
+			"line 2"},
+		{"name-not-object", `{"name": {"label": "x"}, "resource": "a", "cores": 4,
+			"pattern": {"type": "eop", "stages": [{"name": "k"}]}}`,
+			`"name" wants string`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

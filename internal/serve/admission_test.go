@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admissionHarness drives the queue with jobs that start instantly and
+// release only when the test says so, making dispatch order fully
+// deterministic.
+type admissionHarness struct {
+	t      *testing.T
+	starts chan string
+	mu     sync.Mutex
+	rels   []harnessRelease
+}
+
+type harnessRelease struct {
+	tenant string
+	fn     func()
+}
+
+func (ah *admissionHarness) job(tenant string) func(release func()) {
+	return func(release func()) {
+		ah.mu.Lock()
+		ah.rels = append(ah.rels, harnessRelease{tenant, release})
+		ah.mu.Unlock()
+		ah.starts <- tenant
+	}
+}
+
+func (ah *admissionHarness) nextStart() string {
+	select {
+	case t := <-ah.starts:
+		return t
+	case <-time.After(5 * time.Second):
+		ah.t.Fatal("no job started within 5s")
+		return ""
+	}
+}
+
+// releaseOne settles the oldest in-flight job.
+func (ah *admissionHarness) releaseOne() {
+	ah.releaseTenant("")
+}
+
+// releaseTenant settles the oldest in-flight job of one tenant ("" for
+// any tenant).
+func (ah *admissionHarness) releaseTenant(tenant string) {
+	ah.mu.Lock()
+	idx := -1
+	for i, r := range ah.rels {
+		if tenant == "" || r.tenant == tenant {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		ah.mu.Unlock()
+		ah.t.Fatalf("no in-flight job of tenant %q to release", tenant)
+		return
+	}
+	rel := ah.rels[idx].fn
+	ah.rels = append(ah.rels[:idx], ah.rels[idx+1:]...)
+	ah.mu.Unlock()
+	rel()
+}
+
+// TestAdmissionWeights pins the weighted round sequence: tenants a
+// (weight 2) and b (weight 1) each queue three campaigns with one
+// global slot; the serve order must track the weights — a twice as
+// often — not submission order.
+func TestAdmissionWeights(t *testing.T) {
+	a := newAdmission(map[string]float64{"a": 2, "b": 1}, 0, 1)
+	ah := &admissionHarness{t: t, starts: make(chan string, 8)}
+	for i := 0; i < 3; i++ {
+		a.Submit("a", ah.job("a"))
+	}
+	for i := 0; i < 3; i++ {
+		a.Submit("b", ah.job("b"))
+	}
+	var order []string
+	order = append(order, ah.nextStart()) // a1 dispatched on first Submit
+	for len(order) < 6 {
+		ah.releaseOne()
+		order = append(order, ah.nextStart())
+	}
+	ah.releaseOne()
+	// a starts first (sole submitter at dispatch time); from there the
+	// started/weight tiebreak alternates 2:1 until a's queue drains.
+	want := []string{"a", "b", "a", "a", "b", "b"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("start order = %v, want %v", order, want)
+	}
+}
+
+// TestAdmissionCaps pins both caps: with a per-tenant cap of 2 and a
+// global cap of 3, a tenant dumping five campaigns holds at most two
+// slots, the daemon at most three, and everything still runs as slots
+// free up — including the case where a freed slot admits nothing
+// because the only tenant with backlog is at its own cap.
+func TestAdmissionCaps(t *testing.T) {
+	a := newAdmission(nil, 2, 3)
+	ah := &admissionHarness{t: t, starts: make(chan string, 16)}
+	for i := 0; i < 5; i++ {
+		a.Submit("big", ah.job("big"))
+	}
+	for i := 0; i < 2; i++ {
+		a.Submit("small", ah.job("small"))
+	}
+	started := map[string]int{}
+	started[ah.nextStart()]++
+	started[ah.nextStart()]++
+	started[ah.nextStart()]++ // caps admit exactly 3: big, big, small
+	if started["big"] != 2 || started["small"] != 1 {
+		t.Fatalf("initial starts = %v, want big:2 small:1", started)
+	}
+
+	// In flight: big×2 (at cap), small×1. Queued: big×3, small×1.
+	// A freed big slot goes to small first (lower inflight share).
+	ah.releaseTenant("big")
+	if got := ah.nextStart(); got != "small" {
+		t.Fatalf("after big release: %q started, want small (fair share)", got)
+	}
+	// In flight: big×1, small×2. The next freed big slot re-admits big.
+	ah.releaseTenant("big")
+	if got := ah.nextStart(); got != "big" {
+		t.Fatalf("after second big release: %q started, want big", got)
+	}
+	// Small settles both; its first freed slot admits big's backlog, the
+	// second admits nothing — big holds one queued campaign but already
+	// sits at its per-tenant cap.
+	ah.releaseTenant("small")
+	if got := ah.nextStart(); got != "big" {
+		t.Fatalf("after small release: %q started, want big", got)
+	}
+	ah.releaseTenant("small")
+	// In flight: big×2 (at cap), queue big×1: only a big release admits it.
+	ah.releaseTenant("big")
+	if got := ah.nextStart(); got != "big" {
+		t.Fatalf("after third big release: %q started, want the last big campaign", got)
+	}
+	ah.releaseTenant("big")
+	ah.releaseTenant("big")
+
+	total, per := a.Peak()
+	if total > 3 {
+		t.Errorf("peak total in-flight = %d, want <= 3", total)
+	}
+	if per["big"] > 2 {
+		t.Errorf("peak big in-flight = %d, want <= 2", per["big"])
+	}
+}

@@ -1,0 +1,141 @@
+// The HTTP/JSON surface. Versioned under /v1; tenants identify
+// themselves with the X-Entk-Tenant header (missing means "default").
+//
+//	POST /v1/campaigns                 submit a campaign JSON, returns its status (201)
+//	GET  /v1/campaigns                 list campaigns (submission order)
+//	GET  /v1/campaigns/{id}            status; live per-pipeline progress while running
+//	GET  /v1/campaigns/{id}/report     settled report JSON (202 + status while running)
+//	GET  /v1/campaigns/{id}/trace      ENTKPROF dump (live snapshot while running)
+//	POST /v1/campaigns/{id}/checkpoint on-demand ENTKCKPT stream (graph campaigns)
+//
+// The report and trace endpoints never block on a running campaign:
+// trace serves a consistent point-in-time snapshot of the live session
+// (profile.Snapshot), and report answers 202 with the live progress
+// status until the campaign settles.
+
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxCampaignBytes bounds a submitted description; the schema's own
+// expansion caps bound what a description this size can cost.
+const maxCampaignBytes = 8 << 20
+
+// NewHandler returns the daemon's HTTP handler over the orchestrator.
+func NewHandler(o *Orchestrator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, maxCampaignBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(raw) > maxCampaignBytes {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				errors.New("serve: campaign description exceeds 8 MiB"))
+			return
+		}
+		st, err := o.Submit(tenantOf(r), raw)
+		if err != nil {
+			writeError(w, submitCode(err), err)
+			return
+		}
+		writeJSONResponse(w, http.StatusCreated, st)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResponse(w, http.StatusOK, o.List())
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := o.Status(r.PathValue("id"))
+		if err != nil {
+			writeError(w, errCode(err), err)
+			return
+		}
+		writeJSONResponse(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		doc, err := o.Report(id)
+		if errors.Is(err, ErrNotSettled) {
+			// Not ready: answer with the live progress instead of
+			// blocking the request on the campaign.
+			st, serr := o.Status(id)
+			if serr != nil {
+				writeError(w, errCode(serr), serr)
+				return
+			}
+			writeJSONResponse(w, http.StatusAccepted, st)
+			return
+		}
+		if err != nil {
+			writeError(w, errCode(err), err)
+			return
+		}
+		writeJSONResponse(w, http.StatusOK, doc)
+	})
+
+	mux.HandleFunc("GET /v1/campaigns/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := o.Trace(r.PathValue("id"), w); err != nil {
+			// Headers may be gone already for a mid-stream error; this
+			// covers the not-found / not-running cases, which fail
+			// before the first byte.
+			writeError(w, errCode(err), err)
+		}
+	})
+
+	mux.HandleFunc("POST /v1/campaigns/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := o.CheckpointTo(r.PathValue("id"), w); err != nil {
+			writeError(w, errCode(err), err)
+		}
+	})
+
+	return mux
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Entk-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func submitCode(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest // parse/validation errors
+}
+
+func errCode(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNotSettled), errors.Is(err, ErrNotRunning),
+		errors.Is(err, ErrNotCheckpointable):
+		return http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func writeJSONResponse(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSONResponse(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,254 @@
+// Persistence: what decouples campaign lifetime from daemon lifetime.
+// Each campaign owns one directory under <StateDir>/campaigns/<id>/:
+//
+//	campaign.json   the submitted description, verbatim
+//	meta.json       id, tenant, name, lifecycle state, error
+//	report.json     the ReportDoc, written when the campaign settles
+//	trace.bin       ENTKPROF dump of the session trace at settlement
+//	checkpoint.bin  ENTKCKPT resume state + trace, written at shutdown
+//
+// A restarted daemon rebuilds its registry from these directories:
+// terminal campaigns become queryable again (report and trace served
+// from the files), checkpointed ones are re-admitted and resumed, and
+// queued ones re-enter admission from scratch.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"entk"
+	"entk/internal/campaign"
+	"entk/internal/profile"
+)
+
+type metaDoc struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Name   string `json:"name,omitempty"`
+	State  string `json:"state"`
+	Error  string `json:"error,omitempty"`
+}
+
+func (o *Orchestrator) campaignDir(id string) string {
+	return filepath.Join(o.opts.StateDir, "campaigns", id)
+}
+
+func writeJSON(path string, v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// persistSubmission writes the spec and initial meta; a daemon killed
+// before the campaign settles can then at least re-admit it.
+func (o *Orchestrator) persistSubmission(h *handle) {
+	if o.opts.StateDir == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	o.persistSubmissionLocked(h)
+}
+
+func (o *Orchestrator) persistSubmissionLocked(h *handle) {
+	dir := o.campaignDir(h.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(dir, "campaign.json"), h.raw, 0o644)
+	_ = o.persistMetaLocked(h)
+}
+
+func (o *Orchestrator) persistMetaLocked(h *handle) error {
+	if o.opts.StateDir == "" {
+		return nil
+	}
+	dir := o.campaignDir(h.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, "meta.json"), metaDoc{
+		ID: h.id, Tenant: h.tenant, Name: h.name, State: h.state, Error: h.errText,
+	})
+}
+
+// persistTerminal writes meta, report, and trace for a settled
+// campaign. Runs inside the pool's simulation process, so the trace is
+// snapshotted (other campaigns may still be recording on the session).
+func (o *Orchestrator) persistTerminal(h *handle) {
+	if o.opts.StateDir == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := o.persistMetaLocked(h); err != nil {
+		return
+	}
+	dir := o.campaignDir(h.id)
+	_ = writeJSON(filepath.Join(dir, "report.json"),
+		buildReportDoc(h.id, h.tenant, h.name, h.result))
+	if h.result != nil && h.result.Prof != nil {
+		if f, err := os.Create(filepath.Join(dir, "trace.bin")); err == nil {
+			_, _ = h.result.Prof.Snapshot().WriteTo(f)
+			_ = f.Close()
+		}
+	}
+}
+
+// persistCheckpointLocked writes the shutdown checkpoint: resume state
+// plus a snapshot of the session trace so far. h.mu is held.
+func (o *Orchestrator) persistCheckpointLocked(h *handle, cp *entk.CampaignCheckpoint) error {
+	if o.opts.StateDir == "" {
+		return fmt.Errorf("serve: no state directory to checkpoint into")
+	}
+	dir := o.campaignDir(h.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "checkpoint.bin"))
+	if err != nil {
+		return err
+	}
+	var prof *profile.Profiler
+	if h.rs != nil {
+		prof = h.rs.Session().Prof.Snapshot()
+	}
+	err = entk.SaveCheckpoint(f, cp, prof)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// loadReport reads a restored campaign's persisted report. h.mu is held.
+func (o *Orchestrator) loadReport(h *handle) (*ReportDoc, error) {
+	b, err := os.ReadFile(filepath.Join(o.campaignDir(h.id), "report.json"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: campaign %s report: %w", h.id, err)
+	}
+	doc := &ReportDoc{}
+	if err := json.Unmarshal(b, doc); err != nil {
+		return nil, fmt.Errorf("serve: campaign %s report: %w", h.id, err)
+	}
+	return doc, nil
+}
+
+// copyTrace streams a restored campaign's persisted trace.
+func (o *Orchestrator) copyTrace(h *handle, w io.Writer) error {
+	f, err := os.Open(filepath.Join(o.campaignDir(h.id), "trace.bin"))
+	if err != nil {
+		return fmt.Errorf("serve: campaign %s trace: %w", h.id, err)
+	}
+	defer f.Close()
+	_, err = io.Copy(w, f)
+	return err
+}
+
+// restore rebuilds the registry from the state directory at startup.
+func (o *Orchestrator) restore() error {
+	if o.opts.StateDir == "" {
+		return nil
+	}
+	root := filepath.Join(o.opts.StateDir, "campaigns")
+	entries, err := os.ReadDir(root)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := o.restoreOne(id); err != nil {
+			return fmt.Errorf("serve: restoring campaign %s: %w", id, err)
+		}
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "c")); err == nil && n > o.seq {
+			o.seq = n
+		}
+	}
+	return nil
+}
+
+func (o *Orchestrator) restoreOne(id string) error {
+	dir := o.campaignDir(id)
+	b, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return err
+	}
+	var meta metaDoc
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return err
+	}
+	h := &handle{id: id, tenant: meta.Tenant, name: meta.Name, done: make(chan struct{})}
+
+	switch meta.State {
+	case StateDone, StateFailed, StateAborted:
+		// Terminal: queryable from the files, nothing to run.
+		h.state = meta.State
+		h.errText = meta.Error
+		h.fromDisk = true
+		close(h.done)
+	case StateCheckpointed:
+		if err := o.loadSpec(h, dir); err != nil {
+			return err
+		}
+		cf, err := os.Open(filepath.Join(dir, "checkpoint.bin"))
+		if err != nil {
+			return err
+		}
+		cp, err := entk.LoadCheckpoint(cf, nil)
+		cf.Close()
+		if err != nil {
+			return err
+		}
+		h.resume = cp
+		h.state = StateQueued
+	default: // queued, or running after a hard crash: re-admit fresh
+		if err := o.loadSpec(h, dir); err != nil {
+			return err
+		}
+		h.state = StateQueued
+	}
+
+	o.mu.Lock()
+	o.campaigns[id] = h
+	o.order = append(o.order, id)
+	o.mu.Unlock()
+	if h.state == StateQueued {
+		o.enqueue(h)
+	}
+	return nil
+}
+
+func (o *Orchestrator) loadSpec(h *handle, dir string) error {
+	raw, err := os.ReadFile(filepath.Join(dir, "campaign.json"))
+	if err != nil {
+		return err
+	}
+	c, err := campaign.Parse(strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	h.raw = raw
+	h.spec = c
+	if h.name == "" {
+		h.name = c.Name
+	}
+	return nil
+}
