@@ -48,6 +48,13 @@
 // comparable across layouts always, and across engines for campaigns
 // whose unit numbering does not depend on same-instant wake order
 // (single-pipeline campaigns).
+//
+// -mode=real executes the same campaign file for real on the wall
+// clock: kernels carrying an "executable" (plus "args") run as local OS
+// processes with stdout/stderr captured under -outdir, kernels without
+// one sleep their modelled durations, and the report is the same table
+// over wall-clock instants. Real mode is not bit-reproducible, so
+// -record/-check are rejected; see examples/realmode and DESIGN.md §15.
 package main
 
 import (
@@ -57,6 +64,7 @@ import (
 	"os"
 
 	"entk/internal/campaign"
+	"entk/internal/realtime"
 )
 
 // The original runner's JSON types survive as aliases of the campaign
@@ -74,8 +82,10 @@ func main() {
 		record  = flag.String("record", "", "write the run's trace to this golden file")
 		check   = flag.String("check", "", "diff the run's trace against this golden file")
 		asserts = flag.String("assert", "", "check the run's trace against this assertion spec file")
-		engine  = flag.String("engine", "handoff", "clock engine: handoff or ref")
+		engine  = flag.String("engine", "handoff", "clock engine: handoff or ref (sim mode only)")
 		layout  = flag.String("layout", "columnar", "profiler layout: columnar or ref")
+		mode    = flag.String("mode", "sim", "execution mode: sim (virtual time) or real (wall clock, kernels with an executable run as OS processes)")
+		outdir  = flag.String("outdir", "", "real mode: directory for per-unit stdout/stderr captures (default: a fresh temp dir)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(), "usage: entk-run [flags] <campaign.json>")
@@ -95,6 +105,24 @@ func main() {
 	}
 	if opts.Layout, err = campaign.ParseLayout(*layout); err != nil {
 		log.Fatalf("entk-run: %v", err)
+	}
+	if opts.Mode, err = campaign.ParseMode(*mode); err != nil {
+		log.Fatalf("entk-run: %v", err)
+	}
+	if opts.Mode == campaign.ModeReal {
+		// Golden-trace tooling pins bit-reproducible virtual timelines;
+		// wall-clock instants can never match them (see DESIGN.md §15).
+		if *record != "" || *check != "" {
+			log.Fatalf("entk-run: -record/-check are sim-only (real mode is not bit-reproducible)")
+		}
+		opts.Dir = *outdir
+		ex, err := realtime.New(realtime.Config{Dir: opts.Dir})
+		if err != nil {
+			log.Fatalf("entk-run: %v", err)
+		}
+		defer ex.Close()
+		opts.Runner = ex
+		fmt.Fprintf(os.Stderr, "entk-run: real mode, unit output under %s\n", ex.Dir())
 	}
 
 	f, err := os.Open(path)

@@ -18,6 +18,12 @@
 // share admission keeps any one tenant from monopolising the shared
 // submission path (-tenant-cap, -max-inflight, -weights a=2,b=1).
 //
+// -mode=real runs every pool on the wall clock with one shared local
+// process executor: kernels carrying an "executable" exec as OS
+// processes (output under -outdir), and shutdown reaps every live
+// process group. Real pools cannot freeze time between campaigns, so
+// idle pilots keep burning walltime; see DESIGN.md §15.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: every in-flight
 // graph campaign is checkpointed into the state directory, and a
 // restarted daemon (same -state) resumes them where the barriers left
@@ -52,6 +58,8 @@ func main() {
 	tenantCap := flag.Int("tenant-cap", 0, "max in-flight campaigns per tenant (0: unlimited)")
 	maxInFlight := flag.Int("max-inflight", 0, "max in-flight campaigns total (0: unlimited)")
 	weights := flag.String("weights", "", "fair-share weights, e.g. alice=2,bob=1")
+	mode := flag.String("mode", "sim", "execution mode: sim (virtual time) or real (wall clock, kernels with an executable run as OS processes)")
+	outdir := flag.String("outdir", "", "real mode: directory for per-unit stdout/stderr captures (default: a fresh temp dir)")
 	flag.Parse()
 
 	eng, err := campaign.ParseEngine(*engine)
@@ -66,10 +74,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	md, err := campaign.ParseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	o, err := serve.New(serve.Options{
 		Engine:      eng,
 		Layout:      lay,
+		Mode:        md,
+		RealDir:     *outdir,
 		StateDir:    *state,
 		TenantCap:   *tenantCap,
 		MaxInFlight: *maxInFlight,
@@ -85,7 +99,10 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(o)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on http://%s (engine=%s layout=%s)", *addr, eng, lay)
+	log.Printf("listening on http://%s (mode=%s engine=%s layout=%s)", *addr, md, eng, lay)
+	if dir := o.RunnerDir(); dir != "" {
+		log.Printf("real mode: unit output under %s", dir)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -57,9 +57,15 @@
 // Execution happens on a simulated HPC testbed (batch queues, pilot
 // agents, data staging) driven by a virtual clock, so thousand-core
 // experiments complete in milliseconds while preserving the concurrency
-// structure of the real system. See DESIGN.md for the substitution map
-// against the paper's physical testbed and for the graph model's
-// lowering table.
+// structure of the real system. The same campaign also runs for real:
+// NewWallClock returns the wall-clock implementation of the Clock
+// interface, and a Config.Runtime.Runner (the local process executor
+// behind cmd/entk-run -mode=real) execs kernels that carry an
+// Executable as OS processes — same event vocabulary, same reports,
+// over wall instants. Real mode is not bit-reproducible; see DESIGN.md
+// §15 for the determinism contract, and DESIGN.md generally for the
+// substitution map against the paper's physical testbed and the graph
+// model's lowering table.
 package entk
 
 import (
@@ -75,7 +81,7 @@ import (
 )
 
 // Version identifies this release of the toolkit reproduction.
-const Version = "1.4.0"
+const Version = "1.5.0"
 
 // Re-exported user-facing types. The implementations live in
 // internal/core (the toolkit) and internal supporting packages.
@@ -153,10 +159,21 @@ type (
 	PatternError = core.PatternError
 	// StagingDirective moves data before or after a task.
 	StagingDirective = stage.Directive
-	// Clock is the simulation clock applications run under.
-	Clock = vclock.Virtual
+	// Clock is the process clock applications run under: the virtual
+	// simulation clock (NewClock / NewClockEngine) or the wall clock
+	// (NewWallClock) that real-mode execution uses. It is an interface;
+	// construct through this package or vclock.
+	Clock = vclock.Clock
+	// VirtualClock is the concrete discrete-event clock behind NewClock,
+	// exported for callers that need the simulation-only surface.
+	VirtualClock = vclock.Virtual
 	// ClockEngine selects the discrete-event core behind a Clock.
 	ClockEngine = vclock.Engine
+	// UnitRunner executes real-mode unit commands; see NewWallClock and
+	// internal/realtime for the local process implementation.
+	UnitRunner = pilot.UnitRunner
+	// ExecRequest is one real-mode execution window handed to a UnitRunner.
+	ExecRequest = pilot.ExecRequest
 	// RuntimeConfig tunes the pilot runtime.
 	RuntimeConfig = pilot.Config
 	// ProfilerLayout selects the profiler's event-storage layout
@@ -236,12 +253,19 @@ const (
 
 // NewClock returns the virtual clock a simulation runs under, backed by
 // the default direct-handoff engine.
-func NewClock() *Clock { return vclock.NewVirtual() }
+func NewClock() Clock { return vclock.NewVirtual() }
 
 // NewClockEngine returns a virtual clock backed by the selected engine.
 // Both engines produce bit-identical simulated time; they differ only in
 // wall-clock cost (see internal/vclock).
-func NewClockEngine(e ClockEngine) *Clock { return vclock.NewVirtualEngine(e) }
+func NewClockEngine(e ClockEngine) Clock { return vclock.NewVirtualEngine(e) }
+
+// NewWallClock returns the monotonic wall clock real-mode execution runs
+// under: Sleep really sleeps, walltime and fault timers really fire, and
+// the rest of the runtime is unchanged. Pair it with a UnitRunner
+// (RuntimeConfig.Runner) so kernels carrying an Executable run as OS
+// processes; see internal/realtime.
+func NewWallClock() Clock { return vclock.NewWall() }
 
 // NewResourceHandle validates the resource request and prepares a handle.
 func NewResourceHandle(resource string, cores int, walltime time.Duration, cfg Config) (*ResourceHandle, error) {

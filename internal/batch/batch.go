@@ -165,7 +165,7 @@ func (j *Job) Expire() { j.sys.expire(j) }
 
 // System is one machine's batch system.
 type System struct {
-	v       *vclock.Virtual
+	v       vclock.Clock
 	machine *cluster.Machine
 	policy  Policy
 
@@ -193,7 +193,7 @@ func (s *System) SetProfiler(p *profile.Profiler) {
 }
 
 // NewSystem creates a batch system for machine with the given policy.
-func NewSystem(v *vclock.Virtual, machine *cluster.Machine, policy Policy) (*System, error) {
+func NewSystem(v vclock.Clock, machine *cluster.Machine, policy Policy) (*System, error) {
 	if err := machine.Validate(); err != nil {
 		return nil, err
 	}

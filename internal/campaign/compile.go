@@ -23,7 +23,8 @@ func (k *Kernel) kernel() *entk.Kernel {
 	if k == nil {
 		return nil
 	}
-	return &entk.Kernel{Name: k.Name, Params: k.Params, Cores: k.Cores, MPI: k.MPI, Tags: k.Tags}
+	return &entk.Kernel{Name: k.Name, Executable: k.Executable, Args: k.Args,
+		Params: k.Params, Cores: k.Cores, MPI: k.MPI, Tags: k.Tags}
 }
 
 // Specs compiles the resource section to pilot specs — one for the

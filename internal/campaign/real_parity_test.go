@@ -1,0 +1,139 @@
+// Sim-vs-real accounting parity: the same campaign file executed under
+// both modes must tell the same structural story. Real mode cannot be
+// bit-reproducible (wall instants vary run to run), so the contract is
+// weaker than the golden-trace one but still sharp: identical per-unit
+// event names and counts, identical report task/retry/unit counters, and
+// wall durations inside a generous tolerance band. Wave/batcher and
+// unit-manager entities are excluded — same-instant coalescing is a
+// virtual-time artefact the wall clock cannot reproduce (DESIGN.md §15).
+
+package campaign
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"entk/internal/profile"
+)
+
+// loadRealmodeExample parses the quickstart campaign the CLI docs point
+// at, so the test pins exactly what examples/realmode demonstrates.
+func loadRealmodeExample(t *testing.T) *Campaign {
+	t.Helper()
+	f, err := os.Open("../../examples/realmode/campaign.json")
+	if err != nil {
+		t.Fatalf("open example: %v", err)
+	}
+	defer f.Close()
+	c, err := Parse(f)
+	if err != nil {
+		t.Fatalf("parse example: %v", err)
+	}
+	return c
+}
+
+func TestRealModeAccountingParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real mode sleeps on the wall clock")
+	}
+	sim, err := Run(loadRealmodeExample(t), Options{})
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	real, err := Run(loadRealmodeExample(t), Options{Mode: ModeReal, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("real run: %v", err)
+	}
+
+	// Per-unit event structure: same unit entities, same event names and
+	// counts on each, same terminal event. The whole stack above the
+	// exec seam is shared, so any divergence here means real mode grew
+	// its own code path. Comparison is by sorted name multiset: events
+	// sim stamps at one instant (sorted alphabetically within it) spread
+	// over distinct wall instants in real mode, so intra-instant order
+	// is the one structural property that cannot carry across.
+	simEvs := entityEvents(sim.Prof, "unit.")
+	realEvs := entityEvents(real.Prof, "unit.")
+	if len(simEvs) == 0 {
+		t.Fatal("sim trace has no unit entities")
+	}
+	if len(simEvs) != len(realEvs) {
+		t.Fatalf("unit entity count: sim %d, real %d", len(simEvs), len(realEvs))
+	}
+	for ent, sevs := range simEvs {
+		revs, ok := realEvs[ent]
+		if !ok {
+			t.Errorf("entity %s: present in sim, absent in real", ent)
+			continue
+		}
+		sn := eventNames(sevs)
+		rn := eventNames(revs)
+		if sn != rn {
+			t.Errorf("entity %s events:\n  sim:  %s\n  real: %s", ent, sn, rn)
+		}
+		if last(sevs) != last(revs) {
+			t.Errorf("entity %s terminal event: sim %q, real %q", ent, last(sevs), last(revs))
+		}
+	}
+
+	// Report counters: structurally identical tables.
+	sc, rc := sim.Campaign, real.Campaign
+	if sc == nil || rc == nil {
+		t.Fatal("missing campaign report")
+	}
+	if sc.Campaign.Tasks != rc.Campaign.Tasks || sc.Campaign.Retries != rc.Campaign.Retries {
+		t.Errorf("campaign counters: sim tasks=%d retries=%d, real tasks=%d retries=%d",
+			sc.Campaign.Tasks, sc.Campaign.Retries, rc.Campaign.Tasks, rc.Campaign.Retries)
+	}
+	if len(sc.Pipelines) != len(rc.Pipelines) {
+		t.Fatalf("pipeline rows: sim %d, real %d", len(sc.Pipelines), len(rc.Pipelines))
+	}
+	for i := range sc.Pipelines {
+		if sc.Pipelines[i].Tasks != rc.Pipelines[i].Tasks {
+			t.Errorf("pipeline %d tasks: sim %d, real %d",
+				i, sc.Pipelines[i].Tasks, rc.Pipelines[i].Tasks)
+		}
+	}
+	if len(sc.Pilots) != len(rc.Pilots) {
+		t.Fatalf("pilot rows: sim %d, real %d", len(sc.Pilots), len(rc.Pilots))
+	}
+	for i := range sc.Pilots {
+		if sc.Pilots[i].Units != rc.Pilots[i].Units {
+			t.Errorf("pilot %d units: sim %d, real %d",
+				i, sc.Pilots[i].Units, rc.Pilots[i].Units)
+		}
+	}
+
+	// Wall durations: the example's longest chain is a 0.2s exec stage
+	// followed by a fast echo stage, so real TTC must be at least the
+	// dominant sleep and — with lots of headroom for slow CI — well
+	// under a minute. Sim TTC stays the bit-exact modelled 0.40s.
+	if got := rc.Campaign.TTC; got < 180*time.Millisecond || got > time.Minute {
+		t.Errorf("real TTC %v outside [180ms, 1m]", got)
+	}
+	if got := sc.Campaign.TTC; got != 400*time.Millisecond {
+		t.Errorf("sim TTC %v, want the modelled 400ms", got)
+	}
+}
+
+// eventNames renders one entity's events as a sorted, comparable name
+// multiset — instants differ across modes by design.
+func eventNames(evs []profile.Event) string {
+	names := make([]string, len(evs))
+	for i, ev := range evs {
+		names[i] = ev.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, " ")
+}
+
+// last returns the entity's final event name in (T, Name) order.
+func last(evs []profile.Event) string {
+	if len(evs) == 0 {
+		return ""
+	}
+	return evs[len(evs)-1].Name
+}

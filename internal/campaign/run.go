@@ -12,13 +12,65 @@ import (
 
 	"entk"
 	"entk/internal/profile"
+	"entk/internal/realtime"
 )
 
-// Options selects the simulation substrate for one run. The zero value
-// is the production default (handoff clock engine, columnar profiler).
+// Options selects the execution substrate for one run. The zero value
+// is the production default (simulated, handoff clock engine, columnar
+// profiler).
 type Options struct {
 	Engine entk.ClockEngine
 	Layout entk.ProfilerLayout
+	// Mode selects simulated (default) or real execution. Real mode runs
+	// the identical campaign on the wall clock: kernels with an
+	// "executable" exec as OS processes, the rest sleep their modelled
+	// durations. Engine is ignored in real mode.
+	Mode Mode
+	// Dir receives real-mode per-unit output captures; empty means a
+	// fresh temporary directory. Sim mode ignores it.
+	Dir string
+	// Runner overrides the real-mode unit runner (the service shares one
+	// across pools); nil makes Run construct and close its own local
+	// process executor.
+	Runner entk.UnitRunner
+}
+
+// Mode selects the execution substrate: discrete-event simulation or
+// real execution on the wall clock.
+type Mode int
+
+const (
+	// ModeSim is the default: virtual time, bit-reproducible.
+	ModeSim Mode = iota
+	// ModeReal executes on the wall clock via a UnitRunner.
+	ModeReal
+)
+
+func (m Mode) String() string {
+	if m == ModeReal {
+		return "real"
+	}
+	return "sim"
+}
+
+// ParseMode maps a CLI selector to an execution mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "sim":
+		return ModeSim, nil
+	case "real":
+		return ModeReal, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown mode %q (want sim or real)", s)
+}
+
+// NewClock returns the clock a run with these options executes on: a
+// virtual clock with the selected engine, or the wall clock in real mode.
+func (o Options) NewClock() entk.Clock {
+	if o.Mode == ModeReal {
+		return entk.NewWallClock()
+	}
+	return entk.NewClockEngine(o.Engine)
 }
 
 // ParseEngine maps a CLI selector to a clock engine.
@@ -83,12 +135,15 @@ func (r *Result) Summary() string {
 // campaign's own knobs (retry budget). Run and the service's
 // orchestrator share it, so an HTTP-submitted campaign executes on
 // exactly the substrate a library run would construct.
-func (c *Campaign) Config(v *entk.Clock, opts Options) entk.Config {
+func (c *Campaign) Config(v entk.Clock, opts Options) entk.Config {
 	cfg := entk.Config{Clock: v}
 	// Core only fills runtime defaults for a wholly-zero Runtime, so
 	// start from the defaults before selecting the profiler layout.
 	cfg.Runtime = entk.DefaultRuntimeConfig()
 	cfg.Runtime.ProfLayout = opts.Layout
+	if opts.Mode == ModeReal {
+		cfg.Runtime.Runner = opts.Runner
+	}
 	if c.Runtime != nil {
 		cfg.MaxRetries = c.Runtime.MaxRetries
 	}
@@ -97,7 +152,7 @@ func (c *Campaign) Config(v *entk.Clock, opts Options) entk.Config {
 
 // Bind compiles the campaign's resource section onto clock v: a
 // ResourceSet with the campaign's pilots, placement policy, and config.
-func (c *Campaign) Bind(v *entk.Clock, opts Options) (*entk.ResourceSet, error) {
+func (c *Campaign) Bind(v entk.Clock, opts Options) (*entk.ResourceSet, error) {
 	rs, err := entk.NewResourceSet(c.Specs(), c.Config(v, opts))
 	if err != nil {
 		return nil, err
@@ -116,7 +171,15 @@ func Run(c *Campaign, opts Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	v := entk.NewClockEngine(opts.Engine)
+	if opts.Mode == ModeReal && opts.Runner == nil {
+		ex, err := realtime.New(realtime.Config{Dir: opts.Dir})
+		if err != nil {
+			return nil, err
+		}
+		defer ex.Close()
+		opts.Runner = ex
+	}
+	v := opts.NewClock()
 	rs, err := c.Bind(v, opts)
 	if err != nil {
 		return nil, err

@@ -32,6 +32,13 @@ type Kernel struct {
 	MPI    bool               `json:"mpi,omitempty"`
 	// Tags request pilot affinity under a tag_affinity placement.
 	Tags []string `json:"tags,omitempty"`
+	// Executable and Args are the task's real command, exec'd as an OS
+	// process under -mode=real. Simulation ignores them (the named
+	// kernel's cost model still supplies the modelled duration); a
+	// real-mode task without an executable sleeps its modelled duration
+	// in wall time.
+	Executable string   `json:"executable,omitempty"`
+	Args       []string `json:"args,omitempty"`
 }
 
 // Task is one graph node: a kernel invocation, optionally replicated.
@@ -300,6 +307,10 @@ func (c *Campaign) Validate() error {
 				}
 				if task.Kernel.Cores < 0 {
 					return fmt.Errorf("campaign: pipeline %s stage %d task %d: kernel.cores must be >= 0",
+						pipeLabel(pl, i), s+1, ti)
+				}
+				if task.Kernel.Executable == "" && len(task.Kernel.Args) > 0 {
+					return fmt.Errorf("campaign: pipeline %s stage %d task %d: kernel.args requires kernel.executable",
 						pipeLabel(pl, i), s+1, ti)
 				}
 			}

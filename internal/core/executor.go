@@ -52,7 +52,7 @@ type executor struct {
 	rs    *ResourceSet
 	pat   Pattern // nil for AppManager pipeline runs
 	name  string  // report label: pattern name or pipeline name
-	v     *vclock.Virtual
+	v     vclock.Clock
 	batch *pilot.WaveBatcher
 
 	// subLock serializes task submission; the time spent holding it is

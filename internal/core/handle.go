@@ -13,7 +13,7 @@ import (
 // Config carries the toolkit's runtime knobs.
 type Config struct {
 	// Clock is the virtual clock driving the simulation. Required.
-	Clock *vclock.Virtual
+	Clock vclock.Clock
 	// Cost predicts kernel runtimes; nil installs the builtin kernel
 	// registry.
 	Cost pilot.CostModel

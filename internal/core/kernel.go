@@ -22,8 +22,13 @@ import (
 type Kernel struct {
 	// Name selects the kernel plugin, e.g. "md.amber".
 	Name string
-	// Args are the tool's command-line arguments (informational; the
-	// plugin resolves the executable per machine).
+	// Executable is the task's real command. Simulation ignores it (the
+	// cost model supplies the duration); in real mode the runner execs it
+	// as an OS process, and a task without one sleeps its modelled
+	// duration in wall time.
+	Executable string
+	// Args are the tool's command-line arguments: the real argv in real
+	// mode, informational in simulation.
 	Args []string
 	// Params feed the plugin's cost model (atoms, ps, sims, ...).
 	Params map[string]float64
@@ -77,6 +82,8 @@ func (k *Kernel) bind(taskName string, attempt int) pilot.UnitDescription {
 	return pilot.UnitDescription{
 		Name:          taskName,
 		Kernel:        k.Name,
+		Executable:    k.Executable,
+		Args:          k.Args,
 		Params:        k.Params,
 		Cores:         cores,
 		MPI:           k.MPI,

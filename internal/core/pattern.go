@@ -164,7 +164,7 @@ func (p *EnsembleExchange) validate() error {
 // and future pairings so partners proceed without an exchange instead
 // of deadlocking at a rendezvous nobody will ever complete.
 type pairRendezvous struct {
-	v       *vclock.Virtual
+	v       vclock.Clock
 	p       *EnsembleExchange
 	partner func(cycle, replica int) int
 
@@ -192,7 +192,7 @@ const (
 	pairSecond
 )
 
-func newPairRendezvous(v *vclock.Virtual, p *EnsembleExchange, partner func(cycle, replica int) int) *pairRendezvous {
+func newPairRendezvous(v vclock.Clock, p *EnsembleExchange, partner func(cycle, replica int) int) *pairRendezvous {
 	return &pairRendezvous{v: v, p: p, partner: partner, entries: make(map[pairKey]*pairEntry)}
 }
 

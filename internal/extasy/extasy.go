@@ -114,7 +114,7 @@ type Result struct {
 }
 
 // Run executes the campaign. Must be called inside clock.Run.
-func Run(clock *vclock.Virtual, cfg *Config) (*Result, error) {
+func Run(clock vclock.Clock, cfg *Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

@@ -267,6 +267,12 @@ func (a *agent) stop(cause error) {
 	for w := idle; w != nil; w = w.next {
 		close(w.ch)
 	}
+	// Real mode: reap every OS process still running for this pilot.
+	// Their executors' RunUnit calls return with the kill error and the
+	// units fail with the stop cause — no orphans outlive the agent.
+	if r := a.sess.Cfg.Runner; r != nil {
+		r.ReleasePilot(a.pilot.ID)
+	}
 	for _, u := range doomed {
 		u.finish(UnitFailed, cause)
 	}
@@ -303,6 +309,12 @@ func (a *agent) stopWithReturn(cause error) []*ComputeUnit {
 	a.idleMu.Unlock()
 	for w := idle; w != nil; w = w.next {
 		close(w.ch)
+	}
+	// Real mode: kill the stolen units' processes. The stale executors'
+	// RunUnit calls return, and every subsequent effect is generation-
+	// gated away — the rebound attempts own the units from here.
+	if r := a.sess.Cfg.Runner; r != nil {
+		r.ReleasePilot(a.pilot.ID)
 	}
 	sort.Slice(running, func(i, j int) bool { return running[i].ID < running[j].ID })
 	returned := make([]*ComputeUnit, 0, len(running)+len(pend))
@@ -943,7 +955,27 @@ func (a *agent) executeUnit(lr launchReq) {
 	}
 	start := v.Now()
 	prof.RecordID(u.entityID, vocab.evExecStart)
-	v.Sleep(dur)
+	var execErr error
+	if r := a.sess.Cfg.Runner; r != nil {
+		// Real mode: the runner blocks for as long as the unit really
+		// takes (an OS process, or a wall sleep of the modelled duration
+		// for kernels without a command). The window is still bracketed
+		// by the same records and accounting as the simulated path.
+		execErr = r.RunUnit(ExecRequest{
+			PilotID:    a.pilot.ID,
+			PilotCores: a.pilot.Desc.Cores,
+			Unit:       u.Desc.Name,
+			UnitID:     u.ID,
+			Attempt:    u.Desc.Attempt,
+			Kernel:     u.Desc.Kernel,
+			Executable: u.Desc.Executable,
+			Args:       u.Desc.Args,
+			Cores:      u.Desc.Cores,
+			Model:      dur,
+		})
+	} else {
+		v.Sleep(dur)
+	}
 	stop := v.Now()
 	if !u.markExecFrom(lr.gen, start, stop) {
 		return
@@ -957,6 +989,10 @@ func (a *agent) executeUnit(lr launchReq) {
 	a.utilBusy += (stop - start) * time.Duration(u.Desc.Cores)
 	a.mu.Unlock()
 
+	if execErr != nil {
+		u.finishFrom(lr.gen, UnitFailed, fmt.Errorf("unit %q exec: %w", u.Desc.Name, execErr))
+		return
+	}
 	if u.Desc.FailOn != nil && u.Desc.FailOn(u.Desc.Attempt) {
 		u.finishFrom(lr.gen, UnitFailed, fmt.Errorf("unit %q failed (injected, attempt %d)",
 			u.Desc.Name, u.Desc.Attempt))

@@ -94,7 +94,7 @@ func (fp *FaultPlan) Validate(n int) error {
 // watcher. A nil displaced fails displaced units with the fault cause,
 // mirroring an agent without recovery. Must be called from a registered
 // vclock process before the fault instants pass.
-func (fp *FaultPlan) Arm(v *vclock.Virtual, pilots []*ComputePilot, displaced func([]*ComputeUnit)) error {
+func (fp *FaultPlan) Arm(v vclock.Clock, pilots []*ComputePilot, displaced func([]*ComputeUnit)) error {
 	if err := fp.Validate(len(pilots)); err != nil {
 		return err
 	}

@@ -109,6 +109,13 @@ type Config struct {
 	// queue-parity tests (see pendq.go) — the pending-queue analogue of
 	// Rescan.
 	PendingRef bool
+	// Runner, when non-nil, switches the agents into real-mode execution:
+	// each unit's execution window is handed to the runner (which execs
+	// the unit's command or sleeps its modelled duration in real time)
+	// instead of being a virtual Sleep. Requires the session clock to be
+	// a wall clock — a runner blocking on a real process under a virtual
+	// engine would stall the simulation. See runner.go.
+	Runner UnitRunner
 }
 
 // DefaultConfig returns the configuration used for the paper
@@ -165,7 +172,7 @@ func (vo *profVocab) init(p *profile.Profiler) {
 // owns the virtual clock, the profiler, the cost model, and one simulated
 // batch system per machine.
 type Session struct {
-	V    *vclock.Virtual
+	V    vclock.Clock
 	Prof *profile.Profiler
 	Cost CostModel
 	Cfg  Config
@@ -203,8 +210,14 @@ type backend struct {
 	mover   *stage.Mover
 }
 
-// NewSession creates a session with the given cost model and config.
-func NewSession(v *vclock.Virtual, cost CostModel, cfg Config) *Session {
+// NewSession creates a session with the given cost model and config. A
+// config carrying a real-mode Runner demands a wall clock: real process
+// execution blocks outside the engine's accounting, which would stall
+// (and likely deadlock-panic) a virtual simulation.
+func NewSession(v vclock.Clock, cost CostModel, cfg Config) *Session {
+	if cfg.Runner != nil && v.EngineKind() != vclock.EngineWall {
+		panic("pilot: Config.Runner requires a wall clock (vclock.NewWall); real execution cannot run under a virtual engine")
+	}
 	s := &Session{
 		V:        v,
 		Prof:     profile.NewLayout(v, cfg.ProfLayout),

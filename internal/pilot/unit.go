@@ -107,6 +107,12 @@ type UnitDescription struct {
 	Name string
 	// Kernel is the kernel-plugin name driving the cost model.
 	Kernel string
+	// Executable and Args are the unit's real command, exec'd as an OS
+	// process by a real-mode runner (Config.Runner). Simulation ignores
+	// them; a real-mode unit without an Executable sleeps its modelled
+	// duration in wall time instead.
+	Executable string
+	Args       []string
 	// Params parameterises the kernel's cost model.
 	Params map[string]float64
 	// Cores is the core count; >1 requires MPI.
@@ -204,7 +210,7 @@ func newUnit(s *Session, desc UnitDescription) *ComputeUnit {
 // Desc) answers as the original did, while the mutating paths are all
 // no-ops on a final unit. Replay units never touch a pilot, an agent,
 // or the profiler.
-func NewReplayUnit(v *vclock.Virtual, desc UnitDescription, st UnitState, start, stop time.Duration) *ComputeUnit {
+func NewReplayUnit(v vclock.Clock, desc UnitDescription, st UnitState, start, stop time.Duration) *ComputeUnit {
 	if !st.Final() {
 		st = UnitDone
 	}

@@ -23,7 +23,6 @@ import (
 	"time"
 
 	"entk/internal/pad"
-	"entk/internal/vclock"
 )
 
 // EntityID is an interned entity key ("unit.000042", "pilot.0001", ...).
@@ -364,12 +363,20 @@ func (r *refStore) count() int {
 // ---------------------------------------------------------------------------
 // Profiler
 
+// Clock is the one thing the profiler needs from the simulation (or
+// wall-clock) substrate: a current instant for each recorded event.
+// Narrower than vclock.Clock on purpose — tests stamp events with fake
+// clocks, and the full interface is sealed to package vclock.
+type Clock interface {
+	Now() time.Duration
+}
+
 // Profiler accumulates events. It is safe for concurrent use. Events are
 // kept in insertion order per entity (an entity always maps to the same
 // stripe); cross-entity order across stripes is not meaningful — queries
 // are order-independent and Timeline sorts by time.
 type Profiler struct {
-	clock  vclock.Clock
+	clock  Clock
 	layout Layout
 	ents   interner
 	names  interner
@@ -378,12 +385,12 @@ type Profiler struct {
 
 // New returns an empty profiler reading timestamps from clock, on the
 // default columnar layout.
-func New(clock vclock.Clock) *Profiler {
+func New(clock Clock) *Profiler {
 	return NewLayout(clock, LayoutColumnar)
 }
 
 // NewLayout returns an empty profiler on an explicit event-storage layout.
-func NewLayout(clock vclock.Clock, l Layout) *Profiler {
+func NewLayout(clock Clock, l Layout) *Profiler {
 	p := &Profiler{clock: clock, layout: l}
 	if l == LayoutRef {
 		p.store = &refStore{p: p}

@@ -15,7 +15,6 @@ import (
 type tickClock struct{ n atomic.Int64 }
 
 func (c *tickClock) Now() time.Duration { return time.Duration(c.n.Add(1)) }
-func (c *tickClock) Sleep(time.Duration) {}
 
 // TestConcurrentSnapshotHammer hammers Snapshot while recorders are
 // running, on both layouts: every snapshot must contain at least the

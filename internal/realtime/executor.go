@@ -1,0 +1,319 @@
+// Package realtime is the local process backend for real-mode execution:
+// the pilot.UnitRunner that turns a unit's execution window into an
+// actual OS process on the local machine.
+//
+// The discrete-event runtime above it is unchanged — batch admission,
+// agent scheduling, staging, retries, and profiling all run exactly as in
+// simulation, just on the wall clock (vclock.NewWall). This package only
+// owns the window between exec_start and exec_stop:
+//
+//   - Kernels carrying a real command (UnitDescription.Executable/Args,
+//     campaign schema field "executable") are exec'd with their stdout
+//     and stderr captured to per-unit files under the executor's
+//     directory. A non-zero exit becomes the unit's failure and burns a
+//     retry through the ordinary machinery.
+//   - Kernels without a command sleep their cost-model duration in wall
+//     time — "modelled kernels", which is what makes a sim-only campaign
+//     runnable in real mode at all and what the sim-vs-real parity test
+//     exercises.
+//   - Core-count enforcement: each pilot gets a bounded slot pool sized
+//     to PilotSpec.Cores, and a window holds Cores slots for its
+//     duration. The agent's scheduler already guarantees the bound, so
+//     the pool is belt-and-braces; a request that cannot ever fit is an
+//     error, not a deadlock.
+//   - Teardown: every process is started in its own process group, and
+//     ReleasePilot / Close kill the groups (SIGKILL to -pgid), so agent
+//     teardown — drain, fault, walltime expiry, daemon shutdown — reaps
+//     grandchildren too. No orphans.
+package realtime
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"entk/internal/pilot"
+)
+
+// Config tunes an Executor.
+type Config struct {
+	// Dir receives per-unit capture files (<unit>.a<attempt>.out/.err).
+	// Empty means a fresh temporary directory.
+	Dir string
+	// Env is appended to the inherited environment of every process.
+	Env []string
+}
+
+// Executor is the local process UnitRunner. Safe for concurrent use; one
+// executor typically serves every pilot of a session.
+type Executor struct {
+	cfg Config
+	dir string
+
+	mu     sync.Mutex
+	pilots map[int]*pilotState
+	procs  map[*proc]struct{}
+	closed bool
+}
+
+// pilotState is one pilot's slot pool plus its release latch.
+type pilotState struct {
+	cores int
+	sem   chan struct{} // one token per core
+	acq   sync.Mutex    // serializes multi-token acquisition (no interleaving)
+	once  sync.Once
+	gone  chan struct{} // closed by ReleasePilot: modelled sleeps wake early
+}
+
+// proc is one live process group.
+type proc struct {
+	pilotID int
+	unit    string
+	pgid    int
+}
+
+// New returns an Executor capturing unit output under cfg.Dir (a fresh
+// temp directory when empty).
+func New(cfg Config) (*Executor, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "entk-real-")
+		if err != nil {
+			return nil, fmt.Errorf("realtime: %w", err)
+		}
+		dir = d
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("realtime: %w", err)
+	}
+	return &Executor{
+		cfg:    cfg,
+		dir:    dir,
+		pilots: make(map[int]*pilotState),
+		procs:  make(map[*proc]struct{}),
+	}, nil
+}
+
+// Dir reports the capture directory.
+func (x *Executor) Dir() string { return x.dir }
+
+var _ pilot.UnitRunner = (*Executor)(nil)
+
+// RunUnit implements pilot.UnitRunner: hold the unit's core slots, run
+// the window (process or modelled sleep), release.
+func (x *Executor) RunUnit(req pilot.ExecRequest) error {
+	ps, err := x.pilotFor(req.PilotID, req.PilotCores)
+	if err != nil {
+		return err
+	}
+	cores := req.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	if cores > ps.cores {
+		return fmt.Errorf("realtime: unit %q wants %d cores on a %d-core pilot", req.Unit, cores, ps.cores)
+	}
+	ps.acq.Lock()
+	for i := 0; i < cores; i++ {
+		ps.sem <- struct{}{}
+	}
+	ps.acq.Unlock()
+	defer func() {
+		for i := 0; i < cores; i++ {
+			<-ps.sem
+		}
+	}()
+
+	if req.Executable == "" {
+		return x.sleepModel(ps, req)
+	}
+	return x.execProcess(ps, req)
+}
+
+// sleepModel is the modelled-kernel window: a wall sleep of the cost
+// model's duration, cut short (with an error) if the pilot is released.
+func (x *Executor) sleepModel(ps *pilotState, req pilot.ExecRequest) error {
+	if req.Model <= 0 {
+		return nil
+	}
+	t := time.NewTimer(req.Model)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ps.gone:
+		return fmt.Errorf("realtime: unit %q interrupted: pilot %d released", req.Unit, req.PilotID)
+	}
+}
+
+// execProcess runs the unit's command in its own process group with
+// captured output, blocking until it exits.
+func (x *Executor) execProcess(ps *pilotState, req pilot.ExecRequest) error {
+	base := fmt.Sprintf("%s.a%02d", sanitize(req.Unit), req.Attempt)
+	outPath := filepath.Join(x.dir, base+".out")
+	errPath := filepath.Join(x.dir, base+".err")
+	outF, err := os.Create(outPath)
+	if err != nil {
+		return fmt.Errorf("realtime: unit %q: %w", req.Unit, err)
+	}
+	defer outF.Close()
+	errF, err := os.Create(errPath)
+	if err != nil {
+		return fmt.Errorf("realtime: unit %q: %w", req.Unit, err)
+	}
+	defer errF.Close()
+
+	cmd := exec.Command(req.Executable, req.Args...)
+	cmd.Stdout = outF
+	cmd.Stderr = errF
+	cmd.Env = append(os.Environ(),
+		"ENTK_UNIT="+req.Unit,
+		"ENTK_KERNEL="+req.Kernel,
+		"ENTK_PILOT="+strconv.Itoa(req.PilotID),
+		"ENTK_ATTEMPT="+strconv.Itoa(req.Attempt),
+		"ENTK_CORES="+strconv.Itoa(req.Cores),
+	)
+	cmd.Env = append(cmd.Env, x.cfg.Env...)
+	// Own process group: teardown kills the whole tree, not just the
+	// immediate child, so shell kernels cannot leak grandchildren.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+
+	x.mu.Lock()
+	if x.closed {
+		x.mu.Unlock()
+		return fmt.Errorf("realtime: unit %q: executor closed", req.Unit)
+	}
+	if err := cmd.Start(); err != nil {
+		x.mu.Unlock()
+		return fmt.Errorf("realtime: unit %q: %w", req.Unit, err)
+	}
+	p := &proc{pilotID: req.PilotID, unit: req.Unit, pgid: cmd.Process.Pid}
+	x.procs[p] = struct{}{}
+	released := isClosed(ps.gone)
+	x.mu.Unlock()
+	if released {
+		// The pilot died between dispatch and Start: reap immediately.
+		killGroup(p.pgid)
+	}
+
+	werr := cmd.Wait()
+	x.mu.Lock()
+	delete(x.procs, p)
+	x.mu.Unlock()
+	// The window is over: reap whatever is left of the group. A shell
+	// kernel's backgrounded children would otherwise outlive the unit —
+	// unkillable later, since the proc table only tracks live windows.
+	killGroup(p.pgid)
+	if werr != nil {
+		return fmt.Errorf("realtime: unit %q attempt %d: %s %s: %w (stderr: %s)",
+			req.Unit, req.Attempt, req.Executable, strings.Join(req.Args, " "), werr, errPath)
+	}
+	return nil
+}
+
+// ReleasePilot implements pilot.UnitRunner: kill every process group the
+// pilot still has running and wake its modelled sleeps. Idempotent.
+func (x *Executor) ReleasePilot(pilotID int) {
+	x.mu.Lock()
+	ps := x.pilots[pilotID]
+	var groups []int
+	for p := range x.procs {
+		if p.pilotID == pilotID {
+			groups = append(groups, p.pgid)
+		}
+	}
+	x.mu.Unlock()
+	if ps != nil {
+		ps.once.Do(func() { close(ps.gone) })
+	}
+	for _, pg := range groups {
+		killGroup(pg)
+	}
+}
+
+// Close reaps every process group of every pilot. The executor refuses
+// new work afterwards. Idempotent.
+func (x *Executor) Close() {
+	x.mu.Lock()
+	x.closed = true
+	var pss []*pilotState
+	for _, ps := range x.pilots {
+		pss = append(pss, ps)
+	}
+	var groups []int
+	for p := range x.procs {
+		groups = append(groups, p.pgid)
+	}
+	x.mu.Unlock()
+	for _, ps := range pss {
+		ps.once.Do(func() { close(ps.gone) })
+	}
+	for _, pg := range groups {
+		killGroup(pg)
+	}
+}
+
+// RunningGroups snapshots the live process-group ids (tests: orphan
+// checks via kill(-pgid, 0)).
+func (x *Executor) RunningGroups() []int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	groups := make([]int, 0, len(x.procs))
+	for p := range x.procs {
+		groups = append(groups, p.pgid)
+	}
+	return groups
+}
+
+func (x *Executor) pilotFor(id, cores int) (*pilotState, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("realtime: pilot %d has %d cores", id, cores)
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.closed {
+		return nil, fmt.Errorf("realtime: executor closed")
+	}
+	if ps, ok := x.pilots[id]; ok {
+		return ps, nil
+	}
+	ps := &pilotState{
+		cores: cores,
+		sem:   make(chan struct{}, cores),
+		gone:  make(chan struct{}),
+	}
+	x.pilots[id] = ps
+	return ps, nil
+}
+
+// killGroup SIGKILLs an entire process group. ESRCH (already gone) is
+// the success case of a reap.
+func killGroup(pgid int) {
+	_ = syscall.Kill(-pgid, syscall.SIGKILL)
+}
+
+func isClosed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// sanitize maps a unit name onto a safe file-name fragment.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}

@@ -1,0 +1,77 @@
+// End-to-end real-mode fault coverage, through the same campaign driver
+// the CLI uses: killing a unit's process mid-run must surface as an
+// ordinary unit failure that burns a retry, and the retried attempt must
+// carry the campaign to success. This is the real-mode twin of the fault
+// suite's injected-failure tests — the failure is a signal from outside
+// instead of a FailOn hook.
+
+package realtime_test
+
+import (
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"entk/internal/campaign"
+	"entk/internal/realtime"
+)
+
+// killerCampaign: one task, one retry. Attempt 0 hangs (so the test can
+// kill it); attempt 1 exits immediately.
+const killerCampaign = `{
+  "resources": [{"resource": "local.localhost", "cores": 2, "walltime_min": 10}],
+  "pipelines": [{"name": "p", "stages": [{"name": "s", "tasks": [
+    {"name": "victim", "retries": 1, "kernel": {
+      "name": "misc.sleep", "params": {"seconds": 0.05},
+      "executable": "/bin/sh",
+      "args": ["-c", "if [ \"$ENTK_ATTEMPT\" = 0 ]; then sleep 300; fi"]
+    }}
+  ]}]}]
+}`
+
+func TestKillMidRunBurnsRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real mode runs on the wall clock")
+	}
+	c, err := campaign.Parse(strings.NewReader(killerCampaign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := realtime.New(realtime.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+
+	// The killer: SIGKILL the first process group that appears (attempt
+	// 0's hanging shell), exactly once. Attempt 1 spawns only after the
+	// first window settles, so it is never the one shot.
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if gs := ex.RunningGroups(); len(gs) > 0 {
+				syscall.Kill(-gs[0], syscall.SIGKILL)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	res, err := campaign.Run(c, campaign.Options{Mode: campaign.ModeReal, Runner: ex})
+	if err != nil {
+		t.Fatalf("campaign should survive the kill via retry: %v", err)
+	}
+	rep := res.Campaign.Campaign
+	if rep.Tasks != 1 || rep.Retries != 1 {
+		t.Errorf("tasks=%d retries=%d, want tasks=1 retries=1", rep.Tasks, rep.Retries)
+	}
+	// The trace tells the full story: a failure event on the unit, then
+	// a successful completion.
+	if n := res.Prof.Count("unit.", "state_FAILED"); n != 1 {
+		t.Errorf("state_FAILED events: %d, want 1", n)
+	}
+	if n := res.Prof.Count("unit.", "state_DONE"); n != 1 {
+		t.Errorf("state_DONE events: %d, want 1", n)
+	}
+}

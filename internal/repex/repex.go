@@ -112,7 +112,7 @@ type Result struct {
 
 // Run executes the replica-exchange workload on the toolkit. It must be
 // called from within clock.Run (it blocks for the whole campaign).
-func Run(clock *vclock.Virtual, cfg Config) (*Result, error) {
+func Run(clock vclock.Clock, cfg Config) (*Result, error) {
 	full, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err

@@ -125,12 +125,12 @@ type Service interface {
 // control operation pays the machine's network latency, which is where the
 // constant component of the toolkit overhead comes from.
 type BatchService struct {
-	v   *vclock.Virtual
+	v   vclock.Clock
 	sys *batch.System
 }
 
 // NewBatchService returns a Service submitting to sys.
-func NewBatchService(v *vclock.Virtual, sys *batch.System) *BatchService {
+func NewBatchService(v vclock.Clock, sys *batch.System) *BatchService {
 	return &BatchService{v: v, sys: sys}
 }
 
@@ -158,7 +158,7 @@ func (s *BatchService) Submit(jd JobDescription) (Job, error) {
 }
 
 type batchJob struct {
-	v       *vclock.Virtual
+	v       vclock.Clock
 	machine *cluster.Machine
 	job     *batch.Job
 }
@@ -205,14 +205,14 @@ func (j *batchJob) SignalDone() { j.job.Finish() }
 // Jobs remain Running until SignalDone or Cancel; the walltime limit is
 // still enforced.
 type ForkService struct {
-	v       *vclock.Virtual
+	v       vclock.Clock
 	machine *cluster.Machine
 	mu      sync.Mutex
 	nextID  int
 }
 
 // NewForkService returns an immediate-execution Service on machine.
-func NewForkService(v *vclock.Virtual, machine *cluster.Machine) *ForkService {
+func NewForkService(v vclock.Clock, machine *cluster.Machine) *ForkService {
 	return &ForkService{v: v, machine: machine}
 }
 
@@ -243,7 +243,7 @@ func (s *ForkService) Submit(jd JobDescription) (Job, error) {
 }
 
 type forkJob struct {
-	v     *vclock.Virtual
+	v     vclock.Clock
 	id    string
 	mu    sync.Mutex
 	state State

@@ -15,6 +15,7 @@ import (
 
 	"entk"
 	"entk/internal/campaign"
+	"entk/internal/realtime"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -83,6 +84,10 @@ func (h *handle) snapshotStatus() Status {
 type Orchestrator struct {
 	opts Options
 	adm  *admission
+	// runner is the daemon-wide local process executor in real mode
+	// (nil in sim mode): one executor shared by every pool, so teardown
+	// reaping is a single Close at shutdown.
+	runner *realtime.Executor
 
 	mu          sync.Mutex
 	pools       map[string]*pool
@@ -104,10 +109,28 @@ func New(opts Options) (*Orchestrator, error) {
 		pools:     make(map[string]*pool),
 		campaigns: make(map[string]*handle),
 	}
+	if opts.Mode == campaign.ModeReal {
+		ex, err := realtime.New(realtime.Config{Dir: opts.RealDir})
+		if err != nil {
+			return nil, err
+		}
+		o.runner = ex
+	}
 	if err := o.restore(); err != nil {
+		if o.runner != nil {
+			o.runner.Close()
+		}
 		return nil, err
 	}
 	return o, nil
+}
+
+// RunnerDir returns the real-mode capture directory ("" in sim mode).
+func (o *Orchestrator) RunnerDir() string {
+	if o.runner == nil {
+		return ""
+	}
+	return o.runner.Dir()
 }
 
 // Submit parses, validates, registers, and enqueues one campaign,
@@ -153,7 +176,8 @@ func (o *Orchestrator) enqueue(h *handle) {
 // poolFor returns (building if needed) the shared pool matching the
 // campaign's resource signature.
 func (o *Orchestrator) poolFor(c *campaign.Campaign) *pool {
-	opts := campaign.Options{Engine: o.opts.Engine, Layout: o.opts.Layout}
+	opts := campaign.Options{Engine: o.opts.Engine, Layout: o.opts.Layout,
+		Mode: o.opts.Mode, Runner: o.runner}
 	key := poolKey(c, opts)
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -381,6 +405,10 @@ func (o *Orchestrator) Shutdown() error {
 		if err := o.interrupt(h); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if o.runner != nil {
+		// Reap every live process group: no orphans survive the daemon.
+		o.runner.Close()
 	}
 	return firstErr
 }

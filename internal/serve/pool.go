@@ -26,6 +26,11 @@
 // for the first campaign's Allocate on a vclock.Event — a registered
 // process parking on a plain Go channel would freeze the clock for
 // everyone else.
+//
+// Real-mode pools run the same seam on the wall clock, where Attach/
+// Detach are no-ops and time cannot be frozen: the phantom is harmless
+// but an idle real pool's pilots keep burning walltime toward expiry.
+// That is physics, not a bug — serve.Options.Mode documents it.
 
 package serve
 
@@ -45,7 +50,7 @@ import (
 type pool struct {
 	name  string // stable daemon-scoped label ("pool1", ...)
 	key   string // canonical resource signature
-	v     *entk.Clock
+	v     entk.Clock
 	opts  campaign.Options
 	ready *vclock.Event // fired once the first campaign's Allocate settled
 
@@ -70,6 +75,7 @@ type poolSignature struct {
 	MaxRetries  int              `json:"max_retries,omitempty"`
 	Engine      string           `json:"engine"`
 	Layout      string           `json:"layout"`
+	Mode        string           `json:"mode,omitempty"`
 }
 
 // poolKey canonicalises a campaign's resource signature.
@@ -83,6 +89,9 @@ func poolKey(c *campaign.Campaign, opts campaign.Options) string {
 		Engine:      opts.Engine.String(),
 		Layout:      opts.Layout.String(),
 	}
+	if opts.Mode == campaign.ModeReal {
+		sig.Mode = opts.Mode.String()
+	}
 	if c.Runtime != nil {
 		sig.MaxRetries = c.Runtime.MaxRetries
 	}
@@ -95,7 +104,7 @@ func poolKey(c *campaign.Campaign, opts campaign.Options) string {
 }
 
 func newPool(name, key string, opts campaign.Options) *pool {
-	v := entk.NewClockEngine(opts.Engine)
+	v := opts.NewClock()
 	return &pool{
 		name:  name,
 		key:   key,

@@ -45,6 +45,16 @@ type Options struct {
 	Engine entk.ClockEngine
 	Layout entk.ProfilerLayout
 
+	// Mode selects simulated (default) or real execution for every pool
+	// of this daemon (part of the pool key). In real mode pools run on
+	// the wall clock and one shared local process executor runs kernels
+	// that carry an executable; note an idle real pool's walltime keeps
+	// counting down — wall time cannot be frozen between campaigns.
+	Mode campaign.Mode
+	// RealDir receives real-mode per-unit output captures; empty means
+	// a fresh temporary directory.
+	RealDir string
+
 	// StateDir, when non-empty, is where campaign specs, reports,
 	// traces, and shutdown checkpoints persist. Empty disables
 	// persistence (and therefore resume-after-restart).

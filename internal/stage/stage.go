@@ -81,7 +81,7 @@ func (d Directive) String() string {
 // the virtual clock according to the cost model. WANBandwidthMBps covers
 // Upload/Download; the machine's FS bandwidth covers Copy.
 type Mover struct {
-	v       *vclock.Virtual
+	v       vclock.Clock
 	machine *cluster.Machine
 	// WANBandwidthMBps is the client<->resource transfer bandwidth.
 	WANBandwidthMBps float64
@@ -109,7 +109,7 @@ func (m *Mover) SetProfiler(p *profile.Profiler, entity string) {
 }
 
 // NewMover returns a Mover for machine with a default 100 MB/s WAN.
-func NewMover(v *vclock.Virtual, machine *cluster.Machine) *Mover {
+func NewMover(v vclock.Clock, machine *cluster.Machine) *Mover {
 	return &Mover{v: v, machine: machine, WANBandwidthMBps: 100}
 }
 

@@ -30,11 +30,19 @@ const (
 	// semantic baseline the parity tests compare against, mirroring how
 	// pilot.Config.Rescan keeps the seed's agent scheduler.
 	EngineRef
+	// EngineWall backs a Wall clock: real time, real sleeps, no runnable
+	// accounting. It is selected by constructing NewWall, never by
+	// ParseEngine — the -engine flag picks between simulation cores, the
+	// sim/real decision is a mode, not an engine.
+	EngineWall
 )
 
 func (e Engine) String() string {
-	if e == EngineRef {
+	switch e {
+	case EngineRef:
 		return "ref"
+	case EngineWall:
+		return "wall"
 	}
 	return "handoff"
 }
@@ -109,6 +117,8 @@ func NewVirtualEngine(e Engine) *Virtual {
 
 // EngineKind reports which engine backs this clock.
 func (v *Virtual) EngineKind() Engine { return v.eng.kind() }
+
+func (v *Virtual) core() engine { return v.eng }
 
 // Now returns the current virtual time.
 func (v *Virtual) Now() time.Duration { return v.eng.now() }

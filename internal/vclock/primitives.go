@@ -25,7 +25,7 @@ import (
 // once fired, Wait returns immediately forever after — a lockless atomic
 // check. Hosts may also embed an Event value and Init it in place.
 type Event struct {
-	v       *Virtual
+	v       Clock
 	name    string
 	fired   atomic.Bool
 	mu      sync.Mutex
@@ -33,7 +33,7 @@ type Event struct {
 }
 
 // NewEvent returns an unfired Event. The name appears in deadlock reports.
-func NewEvent(v *Virtual, name string) *Event {
+func NewEvent(v Clock, name string) *Event {
 	e := &Event{}
 	e.Init(v, name)
 	return e
@@ -41,7 +41,7 @@ func NewEvent(v *Virtual, name string) *Event {
 
 // Init prepares a zero Event in place (for hosts embedding the value).
 // It must be called before any other method, and only once.
-func (e *Event) Init(v *Virtual, name string) {
+func (e *Event) Init(v Clock, name string) {
 	e.v = v
 	e.name = name
 }
@@ -65,7 +65,7 @@ func (e *Event) Fire() {
 	e.waiters = nil
 	e.mu.Unlock()
 	for _, w := range ws {
-		e.v.eng.wake(w)
+		e.v.core().wake(w)
 	}
 }
 
@@ -82,7 +82,7 @@ func (e *Event) Wait() {
 	w := getWaiter()
 	e.waiters = append(e.waiters, w)
 	e.mu.Unlock()
-	e.v.eng.park(w, e)
+	e.v.core().park(w, e)
 	putWaiter(w)
 }
 
@@ -92,7 +92,7 @@ func (e *Event) blockDesc(*waiter) string { return "event " + e.name }
 // WaitGroup is the virtual-time analogue of sync.WaitGroup. A Wait on a
 // zero counter is a lockless atomic check.
 type WaitGroup struct {
-	v     *Virtual
+	v     Clock
 	name  string
 	count atomic.Int64
 	mu    sync.Mutex
@@ -100,7 +100,7 @@ type WaitGroup struct {
 }
 
 // NewWaitGroup returns a WaitGroup with a zero counter.
-func NewWaitGroup(v *Virtual, name string) *WaitGroup {
+func NewWaitGroup(v Clock, name string) *WaitGroup {
 	return &WaitGroup{v: v, name: name}
 }
 
@@ -147,7 +147,7 @@ func (wg *WaitGroup) Wait() {
 // Get blocks until an item is available; Put never blocks. Close releases
 // all pending and future Gets with ok=false once the buffer drains.
 type Queue struct {
-	v       *Virtual
+	v       Clock
 	name    string
 	mu      sync.Mutex
 	buf     []interface{}
@@ -156,7 +156,7 @@ type Queue struct {
 }
 
 // NewQueue returns an empty open queue.
-func NewQueue(v *Virtual, name string) *Queue {
+func NewQueue(v Clock, name string) *Queue {
 	return &Queue{v: v, name: name}
 }
 
@@ -173,7 +173,7 @@ func (q *Queue) Put(item interface{}) {
 		q.waiters = q.waiters[1:]
 		q.mu.Unlock()
 		w.item, w.ok = item, true
-		q.v.eng.wake(w)
+		q.v.core().wake(w)
 		return
 	}
 	q.buf = append(q.buf, item)
@@ -198,7 +198,7 @@ func (q *Queue) Get() (interface{}, bool) {
 	w := getWaiter()
 	q.waiters = append(q.waiters, w)
 	q.mu.Unlock()
-	q.v.eng.park(w, q)
+	q.v.core().park(w, q)
 	item, ok := w.item, w.ok
 	putWaiter(w)
 	return item, ok
@@ -241,13 +241,13 @@ func (q *Queue) Close() {
 	q.mu.Unlock()
 	for _, w := range ws {
 		w.item, w.ok = nil, false
-		q.v.eng.wake(w)
+		q.v.core().wake(w)
 	}
 }
 
 // Semaphore is a counting semaphore on a virtual clock with FIFO waiters.
 type Semaphore struct {
-	v       *Virtual
+	v       Clock
 	name    string
 	mu      sync.Mutex
 	avail   int
@@ -255,7 +255,7 @@ type Semaphore struct {
 }
 
 // NewSemaphore returns a semaphore with n initially available permits.
-func NewSemaphore(v *Virtual, name string, n int) *Semaphore {
+func NewSemaphore(v Clock, name string, n int) *Semaphore {
 	if n < 0 {
 		panic("vclock: negative semaphore capacity")
 	}
@@ -279,7 +279,7 @@ func (s *Semaphore) Acquire(n int) {
 	w.aux = s.avail // availability snapshot for the deadlock report
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
-	s.v.eng.park(w, s)
+	s.v.core().park(w, s)
 	putWaiter(w)
 }
 
@@ -319,7 +319,7 @@ func (s *Semaphore) Release(n int) {
 	}
 	s.mu.Unlock()
 	for _, w := range served {
-		s.v.eng.wake(w)
+		s.v.core().wake(w)
 	}
 }
 
@@ -334,7 +334,7 @@ func (s *Semaphore) Available() int {
 // the n-th arrival releases everyone and resets the barrier for the next
 // round.
 type Barrier struct {
-	v       *Virtual
+	v       Clock
 	name    string
 	parties int
 	mu      sync.Mutex
@@ -344,7 +344,7 @@ type Barrier struct {
 }
 
 // NewBarrier returns a barrier for the given number of parties (>= 1).
-func NewBarrier(v *Virtual, name string, parties int) *Barrier {
+func NewBarrier(v Clock, name string, parties int) *Barrier {
 	if parties < 1 {
 		panic("vclock: barrier needs at least one party")
 	}

@@ -9,8 +9,8 @@ import (
 	"time"
 )
 
-func TestRealClockMonotonic(t *testing.T) {
-	r := NewReal()
+func TestWallClockMonotonic(t *testing.T) {
+	r := NewWall()
 	a := r.Now()
 	r.Sleep(time.Millisecond)
 	b := r.Now()
